@@ -1,0 +1,58 @@
+"""Shared fixtures and reporting helpers for the experiment benchmarks.
+
+Every ``test_bench_*`` module regenerates one table/figure of the paper
+(see DESIGN.md, Experiment index).  Besides timing the underlying
+operation with pytest-benchmark, each experiment writes a human-readable
+report to ``benchmarks/results/<experiment>.txt`` with the same rows /
+series the paper reports, so EXPERIMENTS.md can quote measured numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    NoiseConfig,
+    SyntheticConfig,
+    apply_noise,
+    generate_epc_collection,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Collection size used by the analysis experiments (full 25k only where
+#: the experiment is about the dataset itself).
+BENCH_N = 8000
+BENCH_SEED = 2322
+
+
+@pytest.fixture(scope="session")
+def collection():
+    """The clean synthetic collection shared by the analysis experiments."""
+    return generate_epc_collection(
+        SyntheticConfig(n_certificates=BENCH_N, seed=BENCH_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def noisy(collection):
+    """The corrupted view plus the ground-truth noise log."""
+    return apply_noise(collection, NoiseConfig(seed=77))
+
+
+@pytest.fixture(scope="session")
+def turin_dirty(collection, noisy):
+    """The dirty Turin subset with its row mapping into the full table."""
+    mask = np.array([c == "Turin" for c in noisy.table["city"]])
+    return noisy.table.where(mask), np.flatnonzero(mask)
+
+
+def write_report(name: str, lines: list[str]) -> Path:
+    """Persist one experiment's table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,88 @@
+"""A1 — the phi-threshold ablation for Levenshtein acceptance.
+
+The paper leaves phi "user-defined".  This ablation quantifies the
+trade-off the user is making: a lower phi accepts more typo'd addresses
+directly (fewer geocoder requests) but risks wrong associations; a higher
+phi is safer but pushes load onto the metered fallback.  Ground truth
+comes from the noise log.
+
+Expected shape: resolution via Levenshtein matching decreases with phi,
+geocoder load increases with phi, and street accuracy stays high in the
+paper's operating range (phi ~ 0.8).
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.preprocessing import (
+    AddressCleaner,
+    CleaningConfig,
+    MatchStatus,
+    SimulatedGeocoder,
+)
+
+PHIS = (0.50, 0.60, 0.70, 0.80, 0.90, 0.95)
+
+
+def test_a1_phi_sweep(collection, turin_dirty, benchmark):
+    turin, turin_rows = turin_dirty
+    sample = turin.head(2000)
+    sample_rows = turin_rows[:2000]
+
+    def run(phi: float):
+        cleaner = AddressCleaner(
+            collection.street_map,
+            CleaningConfig(phi=phi),
+            SimulatedGeocoder(collection.street_map, quota=5000, error_rate=0.0, seed=1),
+        )
+        return cleaner.clean_table(sample)
+
+    rows = []
+    matched_series = []
+    geocoded_series = []
+    accuracy_series = []
+    for phi in PHIS:
+        report = run(phi)
+        counts = {s: 0 for s in MatchStatus}
+        for audit in report.audits:
+            counts[audit.status] += 1
+        resolved_ok = 0
+        resolved = 0
+        for audit in report.audits:
+            if audit.status in (MatchStatus.EXACT, MatchStatus.MATCHED, MatchStatus.GEOCODED):
+                resolved += 1
+                truth = collection.street_map.records[
+                    collection.gazetteer_index[sample_rows[audit.row]]
+                ]
+                if report.table["address"][audit.row] == truth.street:
+                    resolved_ok += 1
+        accuracy = resolved_ok / resolved if resolved else 0.0
+        matched_series.append(counts[MatchStatus.MATCHED])
+        geocoded_series.append(report.geocoder_requests)
+        accuracy_series.append(accuracy)
+        rows.append(
+            f"{phi:<6} {counts[MatchStatus.EXACT]:<7} {counts[MatchStatus.MATCHED]:<9}"
+            f" {counts[MatchStatus.GEOCODED]:<9} {counts[MatchStatus.UNRESOLVED]:<11}"
+            f" {report.geocoder_requests:<10} {accuracy:.3f}"
+        )
+
+    benchmark.pedantic(run, args=(0.80,), rounds=1, iterations=1)
+
+    # shape: Levenshtein acceptance shrinks and geocoder load grows with phi
+    assert matched_series[0] >= matched_series[-1]
+    assert geocoded_series[-1] >= geocoded_series[0]
+    # accuracy stays high in the paper's operating range
+    assert accuracy_series[PHIS.index(0.80)] > 0.95
+
+    write_report(
+        "A1_phi_sweep",
+        [
+            "A1 — phi threshold sweep (2000 dirty Turin rows, ablation)",
+            "phi    exact   matched   geocoded  unresolved  geo_reqs   street_acc",
+            *rows,
+            "",
+            "shape: raising phi moves typo'd addresses from direct Levenshtein",
+            "acceptance to the metered geocoder; accuracy is already > 95% at",
+            "the paper's default operating point (phi = 0.8).",
+        ],
+    )

@@ -1,0 +1,109 @@
+"""E4 + A2 — Figure 4's clustering: elbow-selected K-means on the
+case-study features, with per-cluster response distributions.
+
+Paper (Sections 2.2.2 + 3): K-means over (S/V, Uo, Uw, Sr, ETAH) with the
+K "chosen as the point where the marginal decrease in the SSE curve is
+maximized (aka elbow approach)"; the Figure 4 dashboard then shows the
+EP_H distribution per cluster.  Shape to reproduce:
+
+* SSE strictly decreases with K;
+* the elbow lands on a small K (the stock has a handful of era regimes);
+* clusters order the response: the worst cluster's mean EP_H is a
+  multiple of the best cluster's (the dashboard's message that some
+  groups of buildings are far less efficient).
+
+A2 (ablation): the chosen K must be stable across K-means seeds.
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.analytics.kmeans import choose_k_elbow, kmeans, kmeans_auto, standardize
+from repro.dataset.schema import PAPER_CLUSTERING_FEATURES
+from repro.query import Comparison, Query, QueryEngine
+
+FEATURES = list(PAPER_CLUSTERING_FEATURES)
+
+
+def _case_study_matrix(collection):
+    turin_e11 = QueryEngine(collection.table).execute(
+        Query(
+            where=Comparison("city", "==", "Turin")
+            & Comparison("building_type", "==", "E.1.1")
+        )
+    ).table
+    matrix, __ = standardize(turin_e11.to_matrix(FEATURES))
+    return turin_e11, matrix
+
+
+def test_e4_elbow_clustering(collection, benchmark):
+    turin_e11, matrix = _case_study_matrix(collection)
+
+    auto = kmeans_auto(matrix, (2, 10), seed=0, n_init=3)
+    benchmark.pedantic(
+        kmeans, args=(matrix, auto.chosen_k),
+        kwargs={"n_init": 3, "seed": 0}, rounds=3, iterations=1,
+    )
+
+    sse = [auto.curve[k] for k in sorted(auto.curve)]
+    assert all(a > b for a, b in zip(sse, sse[1:]))  # SSE strictly decreases
+    assert 3 <= auto.chosen_k <= 7  # a handful of stock regimes
+
+    # per-cluster EP_H ordering (Figure 4's message)
+    eph = turin_e11["eph"]
+    labels = auto.result.labels
+    cluster_means = {
+        c: float(np.nanmean(eph[labels == c])) for c in range(auto.chosen_k)
+    }
+    ordered = sorted(cluster_means.values())
+    assert ordered[-1] > 1.5 * ordered[0]
+
+    lines = [
+        "E4 — Figure 4: elbow-selected K-means (Turin, E.1.1)",
+        f"rows clustered: {int((labels >= 0).sum())}",
+        "",
+        "K     SSE",
+        *[f"{k:<5} {auto.curve[k]:.0f}" for k in sorted(auto.curve)],
+        "",
+        f"elbow-chosen K: {auto.chosen_k}",
+        "",
+        "cluster   n       mean EP_H",
+    ]
+    sizes = auto.result.cluster_sizes()
+    for c, mean in sorted(cluster_means.items(), key=lambda kv: kv[1]):
+        lines.append(f"{c:<9} {sizes[c]:<7} {mean:.1f}")
+    lines += [
+        "",
+        f"worst/best cluster mean ratio: {ordered[-1] / ordered[0]:.2f}",
+        "paper shape: clusters separate low vs high energy performance — holds",
+    ]
+    write_report("E4_clustering", lines)
+
+
+def test_a2_elbow_stability_across_seeds(collection, benchmark):
+    __, matrix = _case_study_matrix(collection)
+
+    def chosen_k_for(seed: int) -> int:
+        curve = {
+            k: kmeans(matrix, k, n_init=2, seed=seed).sse for k in range(2, 9)
+        }
+        return choose_k_elbow(curve)
+
+    ks = [chosen_k_for(seed) for seed in range(8)]
+    benchmark.pedantic(chosen_k_for, args=(99,), rounds=1, iterations=1)
+
+    values, counts = np.unique(ks, return_counts=True)
+    modal_share = counts.max() / len(ks)
+    assert modal_share >= 0.5  # the elbow is not a seed artifact
+    assert max(values) - min(values) <= 3
+
+    write_report(
+        "A2_elbow_stability",
+        [
+            "A2 — elbow-K stability across K-means seeds (ablation)",
+            f"seeds tested: {len(ks)}",
+            f"chosen K per seed: {ks}",
+            f"modal K: {int(values[np.argmax(counts)])} "
+            f"(share {modal_share:.0%})",
+        ],
+    )

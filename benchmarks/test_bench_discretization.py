@@ -1,0 +1,85 @@
+"""E5 — footnote 4: CART discretization of U_w, U_o and ETAH on EP_H.
+
+Paper footnote 4 publishes the dashboard's bins:
+
+* U-value of windows, 4 classes:  [1.1, 2.05], (2.05, 2.45], (2.45, 3.35], (3.35, 5.5]
+* U-value of opaque envelope, 3:  [0.15, 0.45], (0.45, 0.65], (0.65, 1.1]
+* Global heating efficiency, 3:   [0.20, 0.60], (0.60, 0.80], (0.80, 1.1]
+
+We fit the same CART-per-variable procedure (response: EP_H) on the
+synthetic Turin stock and compare boundaries.  Expected shape: the same
+number of ordered classes, with boundaries near the paper's published
+values where the synthetic stock shares the Piedmont era structure; the
+report quantifies each boundary's deviation honestly.
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.analytics.discretize import PAPER_BINS, discretize_attribute
+from repro.query import Comparison, Query, QueryEngine
+
+PLAN = {"u_value_windows": 4, "u_value_opaque": 3, "eta_h": 3}
+
+
+def test_e5_footnote4_bins(collection, benchmark):
+    turin_e11 = QueryEngine(collection.table).execute(
+        Query(
+            where=Comparison("city", "==", "Turin")
+            & Comparison("building_type", "==", "E.1.1")
+        )
+    ).table
+    response = turin_e11["eph"]
+
+    benchmark.pedantic(
+        discretize_attribute,
+        args=(turin_e11["u_value_windows"], response, 4),
+        kwargs={"attribute": "u_value_windows"},
+        rounds=3, iterations=1,
+    )
+
+    lines = ["E5 — footnote-4 discretization bins (CART on EP_H)", ""]
+    max_deviation = {}
+    for attr, n_classes in PLAN.items():
+        disc = discretize_attribute(
+            turin_e11[attr], response, n_classes, attribute=attr
+        )
+        paper_edges = PAPER_BINS[attr]
+        paper_thresholds = paper_edges[1:-1]
+
+        # shape: same class count, ordered thresholds
+        assert disc.n_classes == n_classes
+        assert list(disc.thresholds) == sorted(disc.thresholds)
+
+        deviations = [
+            min(abs(t - p) for p in paper_thresholds) for t in disc.thresholds
+        ]
+        max_deviation[attr] = max(deviations)
+        lines += [
+            f"{attr} ({n_classes} classes)",
+            f"  paper thresholds:    {', '.join(f'{p:g}' for p in paper_thresholds)}",
+            f"  measured thresholds: {', '.join(f'{t:.2f}' for t in disc.thresholds)}",
+            f"  measured bins:       {disc.describe()}",
+            f"  max |deviation| to nearest paper threshold: {max_deviation[attr]:.2f}",
+            "",
+        ]
+
+        # the bins must order the response (that is what makes them useful)
+        values = turin_e11[attr]
+        labels = np.array([disc.label_of(v) if not np.isnan(v) else None for v in values])
+        label_means = [
+            float(np.nanmean(response[labels == lab])) for lab in disc.labels
+        ]
+        if attr == "eta_h":  # higher efficiency -> lower demand
+            assert label_means == sorted(label_means, reverse=True)
+        else:  # higher U-value -> higher demand
+            assert label_means == sorted(label_means)
+
+    # at least the plant-efficiency bins must land near the paper's
+    assert max_deviation["eta_h"] < 0.15
+    lines += [
+        "paper shape: higher-U / lower-efficiency classes carry higher EP_H",
+        "(verified above); boundary deviations reflect the synthetic stock's",
+        "era calibration and are documented in EXPERIMENTS.md.",
+    ]
+    write_report("E5_discretization", lines)

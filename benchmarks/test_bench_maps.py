@@ -1,0 +1,118 @@
+"""E7 + E8 — Figure 2: the four energy-map views.
+
+Figure 2 shows (upper) a choropleth with per-certificate scatter markers
+at neighbourhood and housing-unit zoom, and (lower) cluster-marker maps at
+district and city zoom.  Reproduced shape:
+
+* choropleth: one colored polygon per administrative area, color ordered
+  by the area's mean value;
+* scatter: one marker per certificate in the selected area;
+* cluster-marker: marker label = aggregated cardinality; the drill-down
+  from city to district strictly increases marker count while conserving
+  the total number of aggregated certificates (the paper's zoom
+  navigation).
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.analytics.kmeans import kmeans, standardize
+from repro.dashboard.maps import choropleth_map, cluster_marker_map, scatter_map
+from repro.dataset.schema import PAPER_CLUSTERING_FEATURES
+from repro.geo.regions import Granularity
+from repro.query import Comparison, Query, QueryEngine, WithinRegion
+
+
+def _turin_e11(collection):
+    return QueryEngine(collection.table).execute(
+        Query(
+            where=Comparison("city", "==", "Turin")
+            & Comparison("building_type", "==", "E.1.1")
+        )
+    ).table
+
+
+def test_e7_choropleth_and_scatter(collection, benchmark):
+    turin_e11 = _turin_e11(collection)
+    hierarchy = collection.hierarchy
+
+    # upper-left of Figure 2: neighbourhood-level choropleth of U_o
+    means = turin_e11.aggregate("neighbourhood", "u_value_opaque", np.mean)
+    means.pop(None, None)
+    render = benchmark(
+        choropleth_map, hierarchy, Granularity.NEIGHBOURHOOD, means, "u_value_opaque"
+    )
+    n_regions = len(hierarchy.neighbourhoods)
+    assert render.svg.count("<polygon") == n_regions
+    assert len(render.geojson["features"]) == n_regions
+
+    # drill-down: scatter of each certificate inside one neighbourhood
+    target = max(means, key=means.get)  # the worst-envelope area
+    in_area = QueryEngine(turin_e11).execute(
+        Query(where=WithinRegion(hierarchy, Granularity.NEIGHBOURHOOD, target))
+    ).table
+    scatter = scatter_map(
+        in_area["latitude"], in_area["longitude"], in_area["u_value_windows"],
+        "u_value_windows", hierarchy=hierarchy,
+    )
+    located = int(
+        (~(np.isnan(in_area["latitude"]) | np.isnan(in_area["longitude"]))).sum()
+    )
+    assert scatter.svg.count("<circle") == located
+
+    write_report(
+        "E7_choropleth_scatter",
+        [
+            "E7 — Figure 2 (upper): choropleth + scatter views",
+            f"neighbourhood choropleth polygons: {render.svg.count('<polygon')}"
+            f" (regions: {n_regions})",
+            f"worst-envelope neighbourhood: {target} "
+            f"(mean U_o = {means[target]:.2f} W/m2K)",
+            f"scatter markers in that area: {located} (one per located certificate)",
+        ],
+    )
+
+
+def test_e8_cluster_marker_drilldown(collection, benchmark):
+    turin_e11 = _turin_e11(collection)
+    hierarchy = collection.hierarchy
+    lat, lon = turin_e11["latitude"], turin_e11["longitude"]
+    eph = turin_e11["eph"]
+
+    matrix, __ = standardize(turin_e11.to_matrix(list(PAPER_CLUSTERING_FEATURES)))
+    labels = kmeans(matrix, 4, n_init=2, seed=0).labels
+
+    render_city = benchmark.pedantic(
+        cluster_marker_map,
+        args=(lat, lon, eph, "eph", Granularity.CITY),
+        kwargs={"hierarchy": hierarchy, "cluster_labels": labels},
+        rounds=3, iterations=1,
+    )
+    render_district = cluster_marker_map(
+        lat, lon, eph, "eph", Granularity.DISTRICT,
+        hierarchy=hierarchy, cluster_labels=labels,
+    )
+
+    city_markers = render_city.geojson["features"]
+    district_markers = render_district.geojson["features"]
+    assigned = int((labels >= 0).sum())
+
+    # conservation + drill-down monotonicity (the paper's zoom behaviour)
+    assert sum(f["properties"]["count"] for f in city_markers) == assigned
+    assert sum(f["properties"]["count"] for f in district_markers) == assigned
+    assert len(district_markers) > len(city_markers)
+    # cardinality is printed inside markers
+    assert all(str(f["properties"]["count"]) for f in city_markers)
+
+    biggest = max(f["properties"]["count"] for f in city_markers)
+    write_report(
+        "E8_cluster_markers",
+        [
+            "E8 — Figure 2 (lower): cluster-marker maps",
+            f"certificates aggregated:      {assigned}",
+            f"markers at city zoom:         {len(city_markers)}",
+            f"markers at district zoom:     {len(district_markers)}",
+            f"largest city marker:          {biggest} certificates",
+            "drill-down: marker count strictly increases, totals conserved",
+        ],
+    )

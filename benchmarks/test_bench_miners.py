@@ -1,0 +1,72 @@
+"""A8 — Apriori vs FP-Growth on the case-study rules workload.
+
+Both miners implement the same frequent-itemset definition (the test
+suite property-checks exact support equality); this ablation compares
+their runtime on the discretized Turin selection across support
+thresholds.  Required shape: identical itemset sets at every threshold.
+
+Runtime expectation, honestly stated: this repository's Apriori counts
+supports with vectorized NumPy bitsets, which on a dense few-thousand-row
+EPC workload beats the pointer-chasing pure-Python FP-tree; FP-Growth's
+textbook advantage (no candidate generation) only pays off at much larger
+transaction counts and lower supports than the case study needs.  The
+report records both timings so the trade-off is visible.
+"""
+
+import time
+
+from conftest import write_report
+
+from repro.analytics.apriori import ItemsetMiner, transactions_from_table
+from repro.analytics.discretize import discretize_table
+from repro.analytics.fpgrowth import FpGrowthMiner
+from repro.query import Comparison, Query, QueryEngine
+
+PLAN = {"u_value_windows": 4, "u_value_opaque": 3, "eta_h": 3, "eph": 3}
+EXTRA = ["energy_class", "heating_fuel", "glazing_type", "construction_period"]
+
+
+def test_a8_apriori_vs_fpgrowth(collection, benchmark):
+    turin_e11 = QueryEngine(collection.table).execute(
+        Query(
+            where=Comparison("city", "==", "Turin")
+            & Comparison("building_type", "==", "E.1.1")
+        )
+    ).table
+    discretized, __ = discretize_table(turin_e11, PLAN, response="eph")
+    attributes = list(PLAN) + EXTRA
+    transactions = transactions_from_table(discretized, attributes)
+
+    rows = []
+    for min_support in (0.20, 0.10, 0.05, 0.02):
+        start = time.perf_counter()
+        apriori = ItemsetMiner(min_support=min_support, max_length=4).mine(transactions)
+        t_apriori = time.perf_counter() - start
+        start = time.perf_counter()
+        fp = FpGrowthMiner(min_support=min_support, max_length=4).mine(transactions)
+        t_fp = time.perf_counter() - start
+        assert set(fp.supports) == set(apriori.supports)  # same definition
+        rows.append(
+            f"{min_support:<10} {len(apriori):<10} {t_apriori * 1000:<14.0f}"
+            f" {t_fp * 1000:<14.0f} {t_apriori / max(t_fp, 1e-9):.1f}x"
+        )
+
+    benchmark.pedantic(
+        FpGrowthMiner(min_support=0.05, max_length=4).mine,
+        args=(transactions,), rounds=3, iterations=1,
+    )
+
+    write_report(
+        "A8_miners",
+        [
+            "A8 — Apriori vs FP-Growth on the rules workload "
+            f"({len(transactions)} transactions, {len(attributes)} attributes)",
+            "min_sup    itemsets   apriori_ms     fpgrowth_ms    speedup",
+            *rows,
+            "",
+            "shape: identical itemset sets at every threshold (asserted).",
+            "timing: the vectorized-bitset Apriori wins at case-study scale;",
+            "FP-Growth is provided for the large-registry regime and as an",
+            "independent implementation that cross-checks Apriori's output.",
+        ],
+    )

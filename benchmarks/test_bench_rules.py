@@ -1,0 +1,101 @@
+"""E6 + A3 — Figure 4's association-rule table and the threshold ablation.
+
+Paper (Section 2.2.2): rules are mined on the discretized attributes with
+constraints on support / confidence / lift / conviction, then shown top-k
+in a tabular view so the analyst can "detect the attributes which
+influence most the energy performance of buildings".  Shape to reproduce:
+
+* rules of the form {bad envelope / inefficient plant} -> {EP_H = High}
+  and {good envelope / efficient plant} -> {EP_H = Low} surface with
+  lift > 1;
+* tightening min-support monotonically shrinks the rule set (A3).
+"""
+
+from conftest import write_report
+
+from repro.analytics.discretize import discretize_table
+from repro.analytics.rules import RuleConstraints, RuleMiner, RuleTemplate
+from repro.query import Comparison, Query, QueryEngine
+
+PLAN = {"u_value_windows": 4, "u_value_opaque": 3, "eta_h": 3, "eph": 3}
+ATTRIBUTES = list(PLAN)
+
+
+def _discretized_case_study(collection):
+    turin_e11 = QueryEngine(collection.table).execute(
+        Query(
+            where=Comparison("city", "==", "Turin")
+            & Comparison("building_type", "==", "E.1.1")
+        )
+    ).table
+    discretized, __ = discretize_table(turin_e11, PLAN, response="eph")
+    return discretized
+
+
+def test_e6_rule_mining(collection, benchmark):
+    discretized = _discretized_case_study(collection)
+    miner = RuleMiner(
+        RuleConstraints(min_support=0.05, min_confidence=0.6, min_lift=1.0),
+        RuleTemplate(consequent_attributes=("eph",)),
+    )
+    rules = benchmark.pedantic(
+        miner.mine, args=(discretized, ATTRIBUTES), rounds=3, iterations=1
+    )
+
+    assert rules
+    top = RuleMiner.top_k(rules, 10, by="lift")
+    assert all(r.lift > 1.0 for r in top)
+
+    # the physics must surface: efficient stock -> low demand, and the
+    # converse, both with positive correlation
+    def has_rule(antecedent_contains: str, consequent_value: str) -> bool:
+        return any(
+            any(antecedent_contains in str(i) for i in r.antecedent)
+            and any(str(i) == f"eph={consequent_value}" for i in r.consequent)
+            for r in rules
+        )
+
+    assert has_rule("u_value_opaque=Low", "Low") or has_rule("eta_h=High", "Low")
+    assert has_rule("u_value_opaque=High", "High") or has_rule("eta_h=Low", "High")
+
+    lines = [
+        "E6 — Figure 4 rules table (defaults: sup>=0.05, conf>=0.6, lift>=1)",
+        f"rules mined: {len(rules)}",
+        "",
+        "top 10 by lift:",
+        "rule                                                       sup    conf   lift",
+    ]
+    for r in top:
+        lines.append(f"{str(r):<58} {r.support:.3f}  {r.confidence:.3f}  {r.lift:.2f}")
+    write_report("E6_rules", lines)
+
+
+def test_a3_support_threshold_sweep(collection, benchmark):
+    discretized = _discretized_case_study(collection)
+
+    def count_rules(min_support: float) -> int:
+        miner = RuleMiner(
+            RuleConstraints(min_support=min_support, min_confidence=0.6, min_lift=1.0),
+            RuleTemplate(consequent_attributes=("eph",)),
+        )
+        return len(miner.mine(discretized, ATTRIBUTES))
+
+    supports = (0.01, 0.02, 0.05, 0.10, 0.20, 0.30)
+    counts = [count_rules(s) for s in supports]
+    benchmark.pedantic(count_rules, args=(0.05,), rounds=3, iterations=1)
+
+    # monotone: a stricter support threshold can only lose rules
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert counts[0] > counts[-1]
+
+    write_report(
+        "A3_support_sweep",
+        [
+            "A3 — rule count vs minimum support (ablation)",
+            "min_support   rules",
+            *[f"{s:<13} {c}" for s, c in zip(supports, counts)],
+            "",
+            "shape: monotone non-increasing — matches Apriori theory; the",
+            "paper exposes these thresholds as user-tunable defaults.",
+        ],
+    )

@@ -1,0 +1,121 @@
+"""Citizen scenario: find an energy-efficient flat.
+
+The paper's citizen "may want to discover areas of the city with more
+performing buildings, to buy a flat that performs well in terms of energy
+efficiency" (Section 2.2.1).  This script uses the querying engine and the
+citizen profile directly — no clustering needed — to:
+
+1. rank neighbourhoods by average heating demand;
+2. drill into the best neighbourhood with a per-certificate scatter map;
+3. shortlist concrete flats matching the citizen's constraints
+   (small-ish, recent windows, energy class C or better).
+
+Run:  python examples/citizen_flat_search.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import Granularity, Indice, IndiceConfig, Stakeholder
+from repro.dashboard import DashboardBuilder, choropleth_map, scatter_map
+from repro.dataset import (
+    NoiseConfig,
+    SyntheticConfig,
+    apply_noise,
+    generate_epc_collection,
+)
+from repro.query import (
+    Between,
+    Comparison,
+    OneOf,
+    Query,
+    QueryEngine,
+    WithinRegion,
+    profile_for,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def main() -> None:
+    collection = generate_epc_collection(SyntheticConfig(n_certificates=6000))
+    noisy = apply_noise(collection, NoiseConfig())
+    collection.table = noisy.table
+
+    # preprocessing only — the citizen flow is query-driven
+    engine = Indice(collection, IndiceConfig())
+    pre = engine.preprocess()
+    turin = engine.select_case_study(pre.table)
+    query_engine = QueryEngine(turin)
+
+    profile = profile_for(Stakeholder.CITIZEN)
+    print(f"Stakeholder profile: {profile.description}\n")
+
+    # 1. efficient areas: the profile's recommended choropleth
+    report = profile.report("efficient_areas")
+    means = query_engine.aggregate(report.query, by="neighbourhood", attribute="eph")
+    means.pop(None, None)
+    ranking = sorted(means.items(), key=lambda kv: kv[1])
+    print("Most efficient neighbourhoods (mean EP_H, kWh/m2y):")
+    for name, mean in ranking[:5]:
+        print(f"    {name:<22} {mean:6.1f}")
+    best_neighbourhood = ranking[0][0]
+
+    # 2. drill into the winner with a scatter map
+    in_area = Query(
+        where=WithinRegion(
+            collection.hierarchy, Granularity.NEIGHBOURHOOD, best_neighbourhood
+        )
+    )
+    area = query_engine.execute(in_area).table
+    print(f"\nDrilling into {best_neighbourhood}: {area.n_rows} certificates")
+
+    # 3. the citizen's shortlist: efficient, manageable size, good windows
+    shortlist_query = (
+        in_area
+        .with_filter(OneOf("energy_class", ("A4", "A3", "A2", "A1", "B", "C")))
+        .with_filter(Between("heated_surface", 45.0, 120.0))
+        .with_filter(Comparison("u_value_windows", "<", 2.0))
+        .with_sort("eph")
+        .with_limit(10)
+        .with_select(
+            "certificate_id", "address", "house_number", "energy_class",
+            "eph", "heated_surface",
+        )
+    )
+    shortlist = query_engine.execute(shortlist_query).table
+    print("\nShortlisted flats (best EP_H first):")
+    for row in shortlist.to_rows():
+        print(
+            f"    {row['address']} {row['house_number']:<5} "
+            f"class {row['energy_class']:<2}  EP_H {row['eph']:6.1f}  "
+            f"{row['heated_surface']:5.0f} m2"
+        )
+
+    # 4. the citizen's dashboard: city overview + area drill-down
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    builder = DashboardBuilder(
+        "INDICE — flat search", f"best neighbourhood: {best_neighbourhood}"
+    )
+    builder.add_map(
+        choropleth_map(
+            collection.hierarchy, Granularity.NEIGHBOURHOOD, means, "eph",
+            title="Average EP_H by neighbourhood",
+        ),
+        caption="Greener areas host more efficient homes.",
+    )
+    builder.add_map(
+        scatter_map(
+            area["latitude"], area["longitude"], area["eph"], "eph",
+            hierarchy=collection.hierarchy,
+            title=f"EP_H per certificate in {best_neighbourhood}",
+        ),
+        caption="Every dot is one certificate; hover for its demand.",
+    )
+    path = builder.build().save(OUTPUT_DIR / "citizen_dashboard.html")
+    print(f"\nDashboard written to {path}")
+
+
+if __name__ == "__main__":
+    main()

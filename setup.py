@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs where the `wheel` package
+(needed for PEP 660 builds) is unavailable, e.g. fully offline environments."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""INDICE — INformative DynamiC dashboard Engine (reproduction).
+
+A full reimplementation of the system described in
+
+    Cerquitelli et al., "Exploring energy performance certificates through
+    visualization", Proceedings of the Workshops of the EDBT/ICDT 2019
+    Joint Conference (BigVis), CEUR-WS Vol. 2322.
+
+The package mirrors the paper's three-tier architecture (Figure 1):
+
+* :mod:`repro.preprocessing` — geospatial cleaning against a referenced
+  street map and the outlier-detection battery;
+* :mod:`repro.query` / :mod:`repro.analytics` — the querying engine,
+  stakeholder profiles, K-means, CART discretization, association rules,
+  correlation and descriptive statistics;
+* :mod:`repro.dashboard` — choropleth / scatter / cluster-marker energy
+  maps, charts and standalone-HTML informative dashboards.
+
+Substrates the paper relied on externally are built in:
+:mod:`repro.dataset` (columnar tables, the 132-attribute EPC schema and a
+synthetic Piedmont collection), :mod:`repro.text` (Levenshtein matching)
+and :mod:`repro.geo` (projections, grids, administrative regions).
+
+Quickstart::
+
+    from repro import Indice, IndiceConfig
+    from repro.dataset import generate_epc_collection, apply_noise
+
+    collection = generate_epc_collection()          # ~25k certificates
+    noisy = apply_noise(collection)                  # real-world dirt
+    collection.table = noisy.table
+    engine = Indice(collection)
+    dashboard = engine.run()                         # full pipeline
+    dashboard.save("indice_dashboard.html")
+"""
+
+from .core import (
+    AnalyticsOutcome,
+    Indice,
+    IndiceConfig,
+    PreprocessingOutcome,
+    ProvenanceLog,
+)
+from .query.stakeholders import Stakeholder
+from .geo.regions import Granularity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticsOutcome",
+    "Indice",
+    "IndiceConfig",
+    "PreprocessingOutcome",
+    "ProvenanceLog",
+    "Stakeholder",
+    "Granularity",
+    "__version__",
+]

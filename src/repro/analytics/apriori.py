@@ -1,0 +1,164 @@
+"""Apriori frequent-itemset mining over categorical EPC attributes.
+
+Association-rule discovery (paper, Section 2.2.2, after Agrawal et al. [1])
+"operates on a transactional dataset of categorical attributes": after
+discretization, every certificate becomes a transaction of
+``attribute=value`` items.  This module mines the frequent itemsets with
+the classic Apriori level-wise algorithm:
+
+* candidates of size k+1 are joined from frequent k-itemsets sharing a
+  (k-1)-prefix, then pruned by the downward-closure property;
+* support counting uses per-item row bitsets (NumPy boolean vectors), so a
+  candidate's support is one vectorized AND away;
+* items are attribute-qualified, and itemsets never contain two items of
+  the same attribute (impossible in single-valued EPC data, so such
+  candidates are pruned eagerly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dataset.table import ColumnKind, Table
+
+__all__ = ["Item", "ItemsetMiner", "FrequentItemsets", "transactions_from_table"]
+
+
+@dataclass(frozen=True, order=True)
+class Item:
+    """One ``attribute=value`` item."""
+
+    attribute: str
+    value: str
+
+    def __str__(self) -> str:
+        return f"{self.attribute}={self.value}"
+
+
+def transactions_from_table(table: Table, attributes: list[str]) -> list[list[Item]]:
+    """The transaction view of *table* restricted to *attributes*.
+
+    Each row becomes the list of its non-missing ``attribute=value`` items.
+    All attributes must be categorical (discretize numerics first).
+    """
+    for name in attributes:
+        if table.kind(name) is ColumnKind.NUMERIC:
+            raise ValueError(
+                f"attribute {name!r} is numeric; discretize it before mining"
+            )
+    columns = {name: table[name] for name in attributes}
+    transactions: list[list[Item]] = []
+    for i in range(table.n_rows):
+        row_items = [
+            Item(name, str(col[i])) for name, col in columns.items() if col[i] is not None
+        ]
+        transactions.append(row_items)
+    return transactions
+
+
+@dataclass
+class FrequentItemsets:
+    """Mining output: itemsets (as sorted tuples of items) with supports."""
+
+    n_transactions: int
+    supports: dict[tuple[Item, ...], float] = field(default_factory=dict)
+
+    def support(self, itemset: tuple[Item, ...]) -> float:
+        """Support of *itemset* (raises KeyError if it was not frequent)."""
+        return self.supports[tuple(sorted(itemset))]
+
+    def of_size(self, k: int) -> list[tuple[Item, ...]]:
+        """All frequent itemsets with exactly *k* items."""
+        return [s for s in self.supports if len(s) == k]
+
+    def __len__(self) -> int:
+        return len(self.supports)
+
+
+class ItemsetMiner:
+    """Level-wise Apriori miner.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum fraction of transactions an itemset must appear in.
+    max_length:
+        Longest itemset mined (rules of length L need itemsets of size L).
+    """
+
+    def __init__(self, min_support: float = 0.05, max_length: int = 4):
+        if not 0.0 < min_support <= 1.0:
+            raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        self.min_support = min_support
+        self.max_length = max_length
+
+    def mine(self, transactions: list[list[Item]]) -> FrequentItemsets:
+        """Mine all frequent itemsets from *transactions*."""
+        n = len(transactions)
+        result = FrequentItemsets(n_transactions=n)
+        if n == 0:
+            return result
+        min_count = self.min_support * n
+
+        # per-item presence bitsets
+        bitsets: dict[Item, np.ndarray] = {}
+        for row, items in enumerate(transactions):
+            for item in items:
+                if item not in bitsets:
+                    bitsets[item] = np.zeros(n, dtype=bool)
+                bitsets[item][row] = True
+
+        # L1
+        frequent: list[tuple[tuple[Item, ...], np.ndarray]] = []
+        for item, bits in sorted(bitsets.items()):
+            count = int(bits.sum())
+            if count >= min_count:
+                itemset = (item,)
+                result.supports[itemset] = count / n
+                frequent.append((itemset, bits))
+
+        # Lk
+        length = 1
+        while frequent and length < self.max_length:
+            frequent_keys = {itemset for itemset, __ in frequent}
+            next_level: list[tuple[tuple[Item, ...], np.ndarray]] = []
+            for i in range(len(frequent)):
+                set_a, bits_a = frequent[i]
+                for j in range(i + 1, len(frequent)):
+                    set_b, bits_b = frequent[j]
+                    if set_a[:-1] != set_b[:-1]:
+                        break  # sorted level: no more shared prefixes
+                    last_a, last_b = set_a[-1], set_b[-1]
+                    if last_a.attribute == last_b.attribute:
+                        continue  # one value per attribute per row
+                    candidate = set_a + (last_b,)
+                    if not self._all_subsets_frequent(candidate, frequent_keys):
+                        continue
+                    bits = bits_a & bits_b
+                    count = int(bits.sum())
+                    if count >= min_count:
+                        result.supports[candidate] = count / n
+                        next_level.append((candidate, bits))
+            next_level.sort(key=lambda pair: pair[0])
+            frequent = next_level
+            length += 1
+        return result
+
+    @staticmethod
+    def _all_subsets_frequent(
+        candidate: tuple[Item, ...], frequent_keys: set[tuple[Item, ...]]
+    ) -> bool:
+        """Downward closure: every (k-1)-subset must be frequent.
+
+        Dropping the last element reproduces the left join parent, which is
+        frequent by construction; every other drop must be checked.
+        """
+        for drop in range(len(candidate) - 1):
+            subset = candidate[:drop] + candidate[drop + 1 :]
+            if subset not in frequent_keys:
+                return False
+        return True

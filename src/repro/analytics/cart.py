@@ -1,0 +1,242 @@
+"""CART regression trees (Breiman et al.), used by INDICE for discretization.
+
+"Since association rules extraction operates on a transactional dataset of
+categorical attributes, a discretization step is needed ... The used
+technique involves creating a decision CART for each variable, using as
+response variable the annual primary energy demand normalized on the floor
+area.  The tree splits are used as bins in the discretization process."
+(paper, Section 2.2.2, following [11].)
+
+This is a from-scratch regression tree:
+
+* squared-error (variance-reduction) split criterion, exact search over
+  sorted candidate thresholds via cumulative sums;
+* **best-first growth** with a ``max_leaves`` budget — the mode the
+  discretizer needs, because *n* classes require exactly *n - 1* splits
+  chosen greedily by impurity decrease;
+* the usual depth / minimum-leaf-size / minimum-decrease controls.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CartNode", "RegressionTree"]
+
+
+@dataclass
+class CartNode:
+    """A tree node; leaves carry a prediction, internal nodes a split."""
+
+    prediction: float
+    n_samples: int
+    impurity: float  # SSE of the node's samples around their mean
+    feature: int | None = None
+    threshold: float | None = None
+    left: "CartNode | None" = None
+    right: "CartNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node has no children."""
+        return self.left is None
+
+
+@dataclass
+class _Split:
+    feature: int
+    threshold: float
+    decrease: float
+    left_rows: np.ndarray
+    right_rows: np.ndarray
+
+
+def _node_sse(y: np.ndarray) -> float:
+    if len(y) == 0:
+        return 0.0
+    return float(np.sum((y - y.mean()) ** 2))
+
+
+def _best_split(
+    x: np.ndarray, y: np.ndarray, rows: np.ndarray, min_samples_leaf: int
+) -> _Split | None:
+    """The impurity-maximally-decreasing split of *rows*, or None."""
+    best: _Split | None = None
+    parent_sse = _node_sse(y[rows])
+    n = len(rows)
+    for feature in range(x.shape[1]):
+        values = x[rows, feature]
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        sorted_y = y[rows][order]
+        # cumulative sums let us evaluate every threshold in O(n)
+        csum = np.cumsum(sorted_y)
+        csum_sq = np.cumsum(sorted_y**2)
+        total = csum[-1]
+        total_sq = csum_sq[-1]
+        for i in range(min_samples_leaf - 1, n - min_samples_leaf):
+            if sorted_values[i] == sorted_values[i + 1]:
+                continue  # cannot split between equal values
+            n_left = i + 1
+            n_right = n - n_left
+            left_sse = float(csum_sq[i] - csum[i] ** 2 / n_left)
+            right_sum = total - csum[i]
+            right_sse = float((total_sq - csum_sq[i]) - right_sum**2 / n_right)
+            decrease = parent_sse - left_sse - right_sse
+            if best is None or decrease > best.decrease:
+                threshold = float((sorted_values[i] + sorted_values[i + 1]) / 2)
+                best = _Split(
+                    feature=feature,
+                    threshold=threshold,
+                    decrease=decrease,
+                    left_rows=rows[order[: i + 1]],
+                    right_rows=rows[order[i + 1 :]],
+                )
+    return best
+
+
+@dataclass
+class RegressionTree:
+    """A CART regression tree.
+
+    Parameters mirror the classic controls.  ``max_leaves`` switches growth
+    to best-first (greedy by impurity decrease), which is what the
+    discretizer uses; without it growth is depth-first to ``max_depth``.
+    """
+
+    max_depth: int = 6
+    min_samples_leaf: int = 20
+    max_leaves: int | None = None
+    min_impurity_decrease: float = 0.0
+    root: CartNode | None = field(default=None, repr=False)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        """Fit on an ``(n, d)`` feature matrix and response *y*.
+
+        Rows with NaN in the features or the response are dropped.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        y = np.asarray(y, dtype=np.float64)
+        if len(x) != len(y):
+            raise ValueError("x and y must be aligned")
+        keep = ~np.isnan(x).any(axis=1) & ~np.isnan(y)
+        x, y = x[keep], y[keep]
+        if len(y) == 0:
+            raise ValueError("no complete samples to fit on")
+
+        rows = np.arange(len(y))
+        self.root = CartNode(
+            prediction=float(y.mean()), n_samples=len(y), impurity=_node_sse(y)
+        )
+        if self.max_leaves is not None:
+            self._grow_best_first(x, y, rows)
+        else:
+            self._grow_depth_first(self.root, x, y, rows, depth=0)
+        return self
+
+    # -- growth strategies --------------------------------------------------
+
+    def _try_split(self, x, y, rows) -> _Split | None:
+        if len(rows) < 2 * self.min_samples_leaf:
+            return None
+        split = _best_split(x, y, rows, self.min_samples_leaf)
+        if split is None or split.decrease <= self.min_impurity_decrease:
+            return None
+        return split
+
+    def _apply_split(self, node: CartNode, split: _Split, y: np.ndarray) -> tuple[CartNode, CartNode]:
+        node.feature = split.feature
+        node.threshold = split.threshold
+        left_y, right_y = y[split.left_rows], y[split.right_rows]
+        node.left = CartNode(float(left_y.mean()), len(left_y), _node_sse(left_y))
+        node.right = CartNode(float(right_y.mean()), len(right_y), _node_sse(right_y))
+        return node.left, node.right
+
+    def _grow_depth_first(self, node, x, y, rows, depth) -> None:
+        if depth >= self.max_depth:
+            return
+        split = self._try_split(x, y, rows)
+        if split is None:
+            return
+        left, right = self._apply_split(node, split, y)
+        self._grow_depth_first(left, x, y, split.left_rows, depth + 1)
+        self._grow_depth_first(right, x, y, split.right_rows, depth + 1)
+
+    def _grow_best_first(self, x, y, rows) -> None:
+        counter = itertools.count()  # tie-breaker: FIFO among equal decreases
+        heap: list[tuple[float, int, CartNode, _Split, int]] = []
+
+        def push(node: CartNode, node_rows: np.ndarray, depth: int) -> None:
+            if depth >= self.max_depth:
+                return
+            split = self._try_split(x, y, node_rows)
+            if split is not None:
+                heapq.heappush(heap, (-split.decrease, next(counter), node, split, depth))
+
+        push(self.root, rows, 0)
+        n_leaves = 1
+        while heap and n_leaves < self.max_leaves:
+            __, ___, node, split, depth = heapq.heappop(heap)
+            left, right = self._apply_split(node, split, y)
+            n_leaves += 1
+            push(left, split.left_rows, depth + 1)
+            push(right, split.right_rows, depth + 1)
+
+    # -- inference ----------------------------------------------------------
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted response per row (NaN features predict NaN)."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        out = np.empty(len(x), dtype=np.float64)
+        for i, row in enumerate(x):
+            if np.isnan(row).any():
+                out[i] = np.nan
+                continue
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    # -- introspection --------------------------------------------------------
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        return sum(1 for node in self._walk() if node.is_leaf)
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a single leaf)."""
+        def node_depth(node: CartNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(node_depth(node.left), node_depth(node.right))
+
+        if self.root is None:
+            return 0
+        return node_depth(self.root)
+
+    def thresholds(self, feature: int = 0) -> list[float]:
+        """Sorted split thresholds on *feature* — the discretization edges."""
+        return sorted(
+            node.threshold
+            for node in self._walk()
+            if not node.is_leaf and node.feature == feature
+        )
+
+    def _walk(self):
+        stack = [self.root] if self.root else []
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend((node.left, node.right))

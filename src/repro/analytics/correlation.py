@@ -1,0 +1,101 @@
+"""Pearson correlation matrices and the clustering-eligibility test.
+
+"For each pair of numerical attributes X and Y, the framework computes the
+Pearson correlation coefficient ... Each coefficient value is translated
+into a gray level in the black-and-white scale ... When the selected set of
+attributes has no evident linear correlation, it is eligible for the
+analytic task." (paper, Section 2.3, Figure 3.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.table import Table
+
+__all__ = ["CorrelationMatrix", "pearson", "correlation_matrix"]
+
+#: |rho| below this is "no evident linear correlation" (Figure 3's reading).
+DEFAULT_ELIGIBILITY_THRESHOLD = 0.5
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson's rho over pairwise-complete observations.
+
+    Returns NaN when fewer than 2 complete pairs exist or either variable
+    is constant.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    keep = ~(np.isnan(x) | np.isnan(y))
+    x, y = x[keep], y[keep]
+    if len(x) < 2:
+        return float("nan")
+    sx, sy = x.std(), y.std()
+    if sx == 0 or sy == 0:
+        return float("nan")
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+@dataclass
+class CorrelationMatrix:
+    """A symmetric Pearson matrix over named attributes."""
+
+    attributes: list[str]
+    matrix: np.ndarray
+
+    def value(self, a: str, b: str) -> float:
+        """The coefficient between attributes *a* and *b*."""
+        i, j = self.attributes.index(a), self.attributes.index(b)
+        return float(self.matrix[i, j])
+
+    def off_diagonal(self) -> np.ndarray:
+        """The strictly-upper-triangle coefficients (each pair once)."""
+        n = len(self.attributes)
+        iu = np.triu_indices(n, k=1)
+        return self.matrix[iu]
+
+    def max_abs_off_diagonal(self) -> float:
+        """Largest |rho| over distinct attribute pairs."""
+        off = self.off_diagonal()
+        finite = off[~np.isnan(off)]
+        return float(np.abs(finite).max()) if len(finite) else 0.0
+
+    def is_eligible(self, threshold: float = DEFAULT_ELIGIBILITY_THRESHOLD) -> bool:
+        """True when no pair shows evident linear correlation — the paper's
+        precondition for using the attribute set in the analytic task."""
+        return self.max_abs_off_diagonal() < threshold
+
+    def gray_levels(self) -> np.ndarray:
+        """|rho| mapped to gray levels in [0, 1]; 1 = black = |rho| = 1.
+
+        This is the encoding of the paper's Figure 3: "dark squares
+        represent high linear correlation".  NaN maps to 0 (blank).
+        """
+        levels = np.abs(self.matrix)
+        return np.where(np.isnan(levels), 0.0, levels)
+
+    def pairs_above(self, threshold: float) -> list[tuple[str, str, float]]:
+        """Attribute pairs whose |rho| meets *threshold*, strongest first."""
+        out = []
+        n = len(self.attributes)
+        for i in range(n):
+            for j in range(i + 1, n):
+                rho = self.matrix[i, j]
+                if not np.isnan(rho) and abs(rho) >= threshold:
+                    out.append((self.attributes[i], self.attributes[j], float(rho)))
+        return sorted(out, key=lambda t: abs(t[2]), reverse=True)
+
+
+def correlation_matrix(table: Table, attributes: list[str]) -> CorrelationMatrix:
+    """Pairwise Pearson matrix over the numeric *attributes* of *table*."""
+    arrays = [table[name] for name in attributes]
+    n = len(attributes)
+    matrix = np.eye(n, dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rho = pearson(arrays[i], arrays[j])
+            matrix[i, j] = matrix[j, i] = rho
+    return CorrelationMatrix(attributes=list(attributes), matrix=matrix)

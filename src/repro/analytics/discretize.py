@@ -1,0 +1,198 @@
+"""CART-based discretization of continuous EPC attributes.
+
+Reproduces the paper's discretization (Section 2.2.2 and footnote 4): each
+continuous variable gets its own depth-limited CART whose response is the
+normalized primary heating energy demand (EP_H); the tree's split points
+become the bin edges.  Class names follow the paper's dashboard labels:
+
+* 3 classes: ``Low``, ``medium``, ``High``
+* 4 classes: ``Low``, ``medium``, ``High``, ``Very high``
+* other class counts fall back to ``C1..Cn`` (ordered low to high).
+
+Footnote 4 reference bins (the target shapes for experiment E5):
+
+* U-value of windows, 4 classes: [1.1, 2.05], (2.05, 2.45], (2.45, 3.35], (3.35, 5.5]
+* U-value of opaque envelope, 3 classes: [0.15, 0.45], (0.45, 0.65], (0.65, 1.1]
+* Global heating efficiency, 3 classes: [0.20, 0.60], (0.60, 0.80], (0.80, 1.1]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dataset.table import Column, ColumnKind, Table
+from .cart import RegressionTree
+
+__all__ = [
+    "Discretization",
+    "discretize_attribute",
+    "quantile_discretization",
+    "discretize_table",
+    "PAPER_BINS",
+]
+
+#: The published footnote-4 bins, for comparison in tests and benchmarks.
+PAPER_BINS = {
+    "u_value_windows": (1.1, 2.05, 2.45, 3.35, 5.5),
+    "u_value_opaque": (0.15, 0.45, 0.65, 1.1),
+    "eta_h": (0.20, 0.60, 0.80, 1.1),
+}
+
+_CLASS_NAMES = {
+    2: ("Low", "High"),
+    3: ("Low", "medium", "High"),
+    4: ("Low", "medium", "High", "Very high"),
+}
+
+
+@dataclass
+class Discretization:
+    """Bin edges and labels for one attribute.
+
+    ``edges`` has ``n_classes + 1`` entries: the observed minimum, the CART
+    split points ascending, and the observed maximum.  Intervals follow the
+    paper's convention: the first is closed, the rest are left-open:
+    ``[e0, e1], (e1, e2], ..., (e_{n-1}, e_n]``.
+    """
+
+    attribute: str
+    edges: tuple[float, ...]
+    labels: tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        if len(self.edges) < 2:
+            raise ValueError("a discretization needs at least 2 edges")
+        if list(self.edges) != sorted(self.edges):
+            raise ValueError(f"edges must be ascending, got {self.edges}")
+        if not self.labels:
+            n = len(self.edges) - 1
+            self.labels = _CLASS_NAMES.get(n, tuple(f"C{i + 1}" for i in range(n)))
+        if len(self.labels) != len(self.edges) - 1:
+            raise ValueError("labels must match the number of intervals")
+
+    @property
+    def n_classes(self) -> int:
+        """Number of discretization classes."""
+        return len(self.labels)
+
+    @property
+    def thresholds(self) -> tuple[float, ...]:
+        """The interior edges (the CART split points)."""
+        return self.edges[1:-1]
+
+    def label_of(self, value: float) -> str | None:
+        """The class label of *value* (``None`` for NaN).
+
+        Values outside the observed range clamp to the extreme classes, so
+        the discretization generalizes to unseen data.
+        """
+        if value is None or np.isnan(value):
+            return None
+        for i, upper in enumerate(self.edges[1:-1]):
+            if value <= upper:
+                return self.labels[i]
+        return self.labels[-1]
+
+    def apply(self, values: np.ndarray) -> list[str | None]:
+        """Class labels for an array of values."""
+        return [self.label_of(float(v)) for v in values]
+
+    def describe(self) -> str:
+        """Human-readable intervals in the paper's footnote style."""
+        parts = [f"{self.labels[0]} = [{self.edges[0]:g}, {self.edges[1]:g}]"]
+        parts.extend(
+            f"{label} = ({lo:g}, {hi:g}]"
+            for label, lo, hi in zip(self.labels[1:], self.edges[1:-1], self.edges[2:])
+        )
+        return "; ".join(parts)
+
+
+def discretize_attribute(
+    values: np.ndarray,
+    response: np.ndarray,
+    n_classes: int,
+    attribute: str = "",
+    min_samples_leaf: int = 30,
+) -> Discretization:
+    """Discretize one attribute by a CART on the response variable.
+
+    Grows a best-first CART with ``max_leaves = n_classes``; its split
+    points become the interior bin edges.  If the data supports fewer
+    splits than requested (e.g. a near-constant attribute), the result has
+    correspondingly fewer classes.
+    """
+    if n_classes < 2:
+        raise ValueError("n_classes must be >= 2")
+    values = np.asarray(values, dtype=np.float64)
+    response = np.asarray(response, dtype=np.float64)
+    tree = RegressionTree(
+        max_depth=n_classes,  # enough depth for n_classes leaves on a line
+        min_samples_leaf=min_samples_leaf,
+        max_leaves=n_classes,
+    ).fit(values, response)
+    splits = tree.thresholds(feature=0)
+    present = values[~np.isnan(values)]
+    if len(present) == 0:
+        raise ValueError("cannot discretize an all-missing attribute")
+    edges = (float(present.min()), *splits, float(present.max()))
+    return Discretization(attribute=attribute, edges=edges)
+
+
+def quantile_discretization(
+    values: np.ndarray, n_classes: int, attribute: str = ""
+) -> Discretization:
+    """Equal-frequency discretization (used for the response variable).
+
+    CART bins are driven *by* the response, so the response itself is
+    binned by quantiles — terciles for 3 classes — which keeps every class
+    populated even for skewed demand distributions.  Duplicate quantile
+    edges (heavily tied data) collapse, yielding fewer classes.
+    """
+    if n_classes < 2:
+        raise ValueError("n_classes must be >= 2")
+    values = np.asarray(values, dtype=np.float64)
+    present = values[~np.isnan(values)]
+    if len(present) == 0:
+        raise ValueError("cannot discretize an all-missing attribute")
+    qs = np.linspace(0, 100, n_classes + 1)
+    edges = np.percentile(present, qs)
+    unique_edges = [float(edges[0])]
+    for e in edges[1:]:
+        if e > unique_edges[-1]:
+            unique_edges.append(float(e))
+    return Discretization(attribute=attribute, edges=tuple(unique_edges))
+
+
+def discretize_table(
+    table: Table,
+    plan: dict[str, int],
+    response: str,
+    min_samples_leaf: int = 30,
+) -> tuple[Table, dict[str, Discretization]]:
+    """Discretize several numeric attributes of *table* at once.
+
+    ``plan`` maps attribute name -> desired number of classes.  Returns a
+    new table in which each planned attribute is REPLACED by its
+    categorical classes, plus the fitted discretizations.  Feature
+    attributes use CART bins on the response; if the *response* itself is
+    in the plan it is binned by quantiles (see
+    :func:`quantile_discretization`).
+    """
+    response_values = table[response]
+    discretizations: dict[str, Discretization] = {}
+    out = table
+    for name, n_classes in plan.items():
+        if name == response:
+            disc = quantile_discretization(table[name], n_classes, attribute=name)
+        else:
+            disc = discretize_attribute(
+                table[name], response_values, n_classes,
+                attribute=name, min_samples_leaf=min_samples_leaf,
+            )
+        discretizations[name] = disc
+        out = out.with_column(
+            Column(name, ColumnKind.CATEGORICAL, np.array(disc.apply(table[name]), dtype=object))
+        )
+    return out.select(table.column_names), discretizations

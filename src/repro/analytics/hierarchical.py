@@ -1,0 +1,219 @@
+"""Agglomerative hierarchical clustering (paper's future-work extension).
+
+The paper closes with: "As future work we plan to integrate in INDICE
+other analytics techniques (both supervised and unsupervised) to provide a
+more flexible and enhanced analysis."  Hierarchical clustering is the
+natural unsupervised companion to K-means for building-stock analysis: it
+needs no a-priori K, exposes the merge structure (useful to *choose* K),
+and handles non-spherical groups.
+
+Implementation: the **nearest-neighbour chain** algorithm with the
+Lance–Williams distance update — exact for the reducible linkages
+supported here, O(n²) time and O(n²) distance storage:
+
+* ``ward`` — minimum within-cluster variance increase (default; the
+  energy-stock regimes are compact);
+* ``average`` — UPGMA;
+* ``single`` / ``complete`` — nearest / farthest neighbour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Merge", "HierarchicalResult", "agglomerative"]
+
+_LINKAGES = ("ward", "average", "single", "complete")
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step: clusters *a* and *b* merged at *height*.
+
+    Cluster ids follow the scipy convention: leaves are ``0..n-1``; the
+    cluster created by merge *i* gets id ``n + i``.
+    """
+
+    a: int
+    b: int
+    height: float
+    size: int
+
+
+@dataclass
+class HierarchicalResult:
+    """A full dendrogram plus helpers to cut it."""
+
+    n_points: int
+    n_original: int
+    merges: list[Merge]
+    linkage: str
+    fit_indices: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0, dtype=np.intp))
+
+    def cut(self, k: int) -> np.ndarray:
+        """Labels aligned with the ORIGINAL rows for a k-cluster cut.
+
+        Rows that were not fitted (missing features) get label ``-1``.
+        Cluster ids are ``0..k-1``, relabelled by first row occurrence.
+        The dendrogram is cut by replaying merges cheapest-first until
+        only *k* clusters remain.
+        """
+        if not 1 <= k <= self.n_points:
+            raise ValueError(f"k must be in [1, {self.n_points}]")
+        parent = list(range(self.n_points + len(self.merges)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        clusters = self.n_points
+        for i, merge in enumerate(sorted(range(len(self.merges)),
+                                         key=lambda j: self.merges[j].height)):
+            if clusters <= k:
+                break
+            step = self.merges[merge]
+            new_id = self.n_points + merge
+            parent[find(step.a)] = new_id
+            parent[find(step.b)] = new_id
+            clusters -= 1
+
+        roots: dict[int, int] = {}
+        fitted = np.empty(self.n_points, dtype=np.intp)
+        for i in range(self.n_points):
+            root = find(i)
+            if root not in roots:
+                roots[root] = len(roots)
+            fitted[i] = roots[root]
+
+        full = np.full(self.n_original, -1, dtype=np.intp)
+        full[self.fit_indices] = fitted
+        return full
+
+    def heights(self) -> list[float]:
+        """Merge heights sorted ascending — jumps in this curve suggest K."""
+        return sorted(m.height for m in self.merges)
+
+    def suggest_k(self, max_k: int = 10) -> int:
+        """K at the largest relative jump among the final *max_k* merges.
+
+        A large jump between successive merge heights means two genuinely
+        separate groups were forced together; cutting just before the jump
+        yields the natural cluster count.
+        """
+        heights = self.heights()
+        if len(heights) < 2:
+            return 1
+        tail = heights[-max_k:]
+        jumps = np.diff(tail)
+        if len(jumps) == 0 or np.all(jumps <= 0):
+            return 2
+        j = int(np.argmax(jumps))
+        return len(tail) - j
+
+
+def _lance_williams(
+    linkage: str,
+    d_ai: np.ndarray, d_bi: np.ndarray, d_ab: float,
+    n_a: int, n_b: int, n_i: np.ndarray,
+) -> np.ndarray:
+    """Vectorized distance from the merged cluster (a+b) to clusters i."""
+    if linkage == "single":
+        return np.minimum(d_ai, d_bi)
+    if linkage == "complete":
+        return np.maximum(d_ai, d_bi)
+    if linkage == "average":
+        return (n_a * d_ai + n_b * d_bi) / (n_a + n_b)
+    total = n_a + n_b + n_i
+    return ((n_a + n_i) * d_ai + (n_b + n_i) * d_bi - n_i * d_ab) / total
+
+
+def agglomerative(
+    points: np.ndarray, linkage: str = "ward", max_points: int = 5000
+) -> HierarchicalResult:
+    """Build the full dendrogram of *points*.
+
+    Rows with NaN features are excluded (they get label ``-1`` at cut
+    time).  For ``ward`` the inter-cluster distance is the Ward merge cost
+    (within-variance increase); for the other linkages it is Euclidean.
+    ``max_points`` guards against accidentally quadratic blow-ups — raise
+    it deliberately for bigger runs.
+    """
+    if linkage not in _LINKAGES:
+        raise ValueError(f"unknown linkage {linkage!r}; pick one of {_LINKAGES}")
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"expected an (n, d) matrix, got shape {points.shape}")
+    complete_rows = ~np.isnan(points).any(axis=1)
+    fit_indices = np.flatnonzero(complete_rows)
+    coords = points[fit_indices]
+    n = len(coords)
+    if n == 0:
+        raise ValueError("no complete rows to cluster")
+    if n > max_points:
+        raise ValueError(
+            f"{n} points exceed max_points={max_points}; subsample or raise the cap"
+        )
+
+    sq = np.sum(coords**2, axis=1)
+    dist_sq = np.maximum(sq[:, None] - 2 * coords @ coords.T + sq[None, :], 0.0)
+    dist = dist_sq / 2.0 if linkage == "ward" else np.sqrt(dist_sq)
+    np.fill_diagonal(dist, np.inf)
+
+    # slot i of the distance matrix hosts cluster cluster_id[i]
+    cluster_id = np.arange(n, dtype=np.intp)
+    sizes = np.ones(n, dtype=np.intp)
+    active = np.ones(n, dtype=bool)
+
+    merges: list[Merge] = []
+    next_id = n
+    chain: list[int] = []  # slots, not cluster ids
+    remaining = n
+    while remaining > 1:
+        if not chain:
+            chain.append(int(np.flatnonzero(active)[0]))
+        while True:
+            tip = chain[-1]
+            row = dist[tip].copy()
+            row[~active] = np.inf
+            nearest = int(np.argmin(row))
+            if len(chain) >= 2 and nearest == chain[-2]:
+                break  # reciprocal nearest neighbours: merge
+            chain.append(nearest)
+        b = chain.pop()
+        a = chain.pop()
+        height = float(dist[a, b])
+        merges.append(Merge(int(cluster_id[a]), int(cluster_id[b]), height,
+                            int(sizes[a] + sizes[b])))
+
+        others = active.copy()
+        others[a] = others[b] = False
+        idx = np.flatnonzero(others)
+        if len(idx):
+            updated = _lance_williams(
+                linkage, dist[a, idx], dist[b, idx], height,
+                int(sizes[a]), int(sizes[b]), sizes[idx],
+            )
+            dist[a, idx] = updated
+            dist[idx, a] = updated
+        active[b] = False
+        dist[b, :] = np.inf
+        dist[:, b] = np.inf
+        sizes[a] += sizes[b]
+        cluster_id[a] = next_id
+        next_id += 1
+        remaining -= 1
+        # the chain may contain b or entries whose nearest changed; reset
+        # conservatively to the merged slot's neighbourhood
+        chain = [slot for slot in chain if active[slot]]
+
+    return HierarchicalResult(
+        n_points=n,
+        n_original=len(points),
+        merges=merges,
+        linkage=linkage,
+        fit_indices=fit_indices,
+    )

@@ -1,0 +1,253 @@
+"""K-means clustering with SSE-based automatic K selection.
+
+"The partitional K-means cluster algorithm is exploited by INDICE to
+identify groups of EPCs characterized by similar properties.  To measure
+the similarity between EPCs, the Euclidean distance is computed. ...
+INDICE analyses the trend of the SSE (sum of squared error) quality index
+to evaluate the cluster cohesion and automatically identify possible good
+K values. ... the K value is chosen as the point where the marginal
+decrease in the SSE curve is maximized (aka elbow approach)."
+(paper, Section 2.2.2.)
+
+This module provides:
+
+* :func:`standardize` — z-score feature scaling (EPC attributes live on
+  wildly different scales: m², W/m²K, dimensionless ratios);
+* :func:`kmeans` — Lloyd's algorithm with k-means++ seeding and restarts;
+* :func:`sse_curve` / :func:`choose_k_elbow` — the SSE trend over a K range
+  and the paper's elbow rule;
+* :func:`kmeans_auto` — the INDICE entry point: sweep K, pick the elbow,
+  return that clustering.
+
+Rows containing NaN in any feature are excluded from fitting and receive
+label ``-1``; the caller decides how to treat them (INDICE drops them
+during preprocessing anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "KMeansResult",
+    "standardize",
+    "kmeans",
+    "sse_curve",
+    "choose_k_elbow",
+    "kmeans_auto",
+    "UNASSIGNED",
+]
+
+#: Label given to rows that could not be clustered (missing features).
+UNASSIGNED = -1
+
+
+@dataclass
+class KMeansResult:
+    """A fitted K-means clustering.
+
+    ``labels`` is aligned with the input rows (``UNASSIGNED`` for rows with
+    missing features); ``centroids`` is ``(k, d)`` in the *fitting* space
+    (standardized if the caller standardized); ``sse`` is the sum of squared
+    distances of fitted rows to their centroid.
+    """
+
+    k: int
+    labels: np.ndarray
+    centroids: np.ndarray
+    sse: float
+    n_iterations: int
+    converged: bool
+
+    def cluster_sizes(self) -> dict[int, int]:
+        """``{cluster_id: n_rows}`` over assigned rows."""
+        ids, counts = np.unique(self.labels[self.labels != UNASSIGNED], return_counts=True)
+        return {int(i): int(c) for i, c in zip(ids, counts)}
+
+    def cluster_indices(self, cluster_id: int) -> np.ndarray:
+        """Row indices belonging to *cluster_id*."""
+        return np.flatnonzero(self.labels == cluster_id)
+
+
+@dataclass
+class Standardization:
+    """Fitted z-score parameters (kept so new points can be projected)."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Project *matrix* into the standardized space."""
+        return (matrix - self.mean) / self.std
+
+    def inverse(self, matrix: np.ndarray) -> np.ndarray:
+        """Map a standardized *matrix* back to the original units."""
+        return matrix * self.std + self.mean
+
+
+def standardize(matrix: np.ndarray) -> tuple[np.ndarray, Standardization]:
+    """Z-score each column of an ``(n, d)`` matrix, ignoring NaN.
+
+    Constant columns get std 1 so they standardize to zero rather than NaN.
+    Returns the standardized matrix (NaN cells stay NaN) and the fitted
+    parameters.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    mean = np.nanmean(matrix, axis=0)
+    std = np.nanstd(matrix, axis=0)
+    std = np.where(std == 0, 1.0, std)
+    params = Standardization(mean=mean, std=std)
+    return params.transform(matrix), params
+
+
+def _kmeans_plus_plus(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ initial centroids (Arthur & Vassilvitskii 2007)."""
+    n = len(points)
+    centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(0, n))
+    centroids[0] = points[first]
+    closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total == 0:  # all points identical to chosen centroids
+            centroids[i:] = points[int(rng.integers(0, n))]
+            break
+        probs = closest_sq / total
+        chosen = int(rng.choice(n, p=probs))
+        centroids[i] = points[chosen]
+        dist_sq = np.sum((points - centroids[i]) ** 2, axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centroids
+
+
+def _assign(points: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment; returns (labels, squared distances)."""
+    # (n, k) squared Euclidean distances without forming (n, k, d)
+    sq_norms = np.sum(centroids**2, axis=1)
+    cross = points @ centroids.T
+    dist_sq = np.maximum(np.sum(points**2, axis=1)[:, None] - 2 * cross + sq_norms, 0.0)
+    labels = np.argmin(dist_sq, axis=1)
+    return labels, dist_sq[np.arange(len(points)), labels]
+
+
+def kmeans(
+    matrix: np.ndarray,
+    k: int,
+    max_iterations: int = 300,
+    n_init: int = 5,
+    seed: int = 0,
+) -> KMeansResult:
+    """Lloyd's K-means with k-means++ seeding and ``n_init`` restarts.
+
+    The best restart by SSE wins.  Iteration stops when assignments no
+    longer change ("the centroids no longer change" in the paper's terms)
+    or after *max_iterations*.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected an (n, d) matrix, got shape {matrix.shape}")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    complete = ~np.isnan(matrix).any(axis=1)
+    fit_idx = np.flatnonzero(complete)
+    if len(fit_idx) < k:
+        raise ValueError(f"only {len(fit_idx)} complete rows for k={k}")
+    points = matrix[fit_idx]
+    rng = np.random.default_rng(seed)
+
+    best: tuple[float, np.ndarray, np.ndarray, int, bool] | None = None
+    for __ in range(n_init):
+        centroids = _kmeans_plus_plus(points, k, rng)
+        labels = np.full(len(points), -1, dtype=np.intp)
+        converged = False
+        iteration = 0
+        for iteration in range(1, max_iterations + 1):
+            new_labels, dist_sq = _assign(points, centroids)
+            if np.array_equal(new_labels, labels):
+                converged = True
+                break
+            labels = new_labels
+            for c in range(k):
+                members = points[labels == c]
+                if len(members):
+                    centroids[c] = members.mean(axis=0)
+                else:
+                    # re-seed an empty cluster at the worst-fitted point
+                    centroids[c] = points[int(np.argmax(dist_sq))]
+        __, dist_sq = _assign(points, centroids)
+        sse = float(dist_sq.sum())
+        if best is None or sse < best[0]:
+            best = (sse, labels.copy(), centroids.copy(), iteration, converged)
+
+    sse, labels, centroids, iterations, converged = best
+    full_labels = np.full(len(matrix), UNASSIGNED, dtype=np.intp)
+    full_labels[fit_idx] = labels
+    return KMeansResult(
+        k=k,
+        labels=full_labels,
+        centroids=centroids,
+        sse=sse,
+        n_iterations=iterations,
+        converged=converged,
+    )
+
+
+def sse_curve(
+    matrix: np.ndarray,
+    k_range: tuple[int, int] = (2, 10),
+    seed: int = 0,
+    n_init: int = 5,
+) -> dict[int, float]:
+    """SSE for each K in the inclusive *k_range* (the elbow plot data)."""
+    lo, hi = k_range
+    if lo < 1 or hi < lo:
+        raise ValueError(f"invalid k_range {k_range}")
+    return {
+        k: kmeans(matrix, k, n_init=n_init, seed=seed).sse for k in range(lo, hi + 1)
+    }
+
+
+def choose_k_elbow(curve: dict[int, float]) -> int:
+    """The paper's rule: K where the marginal decrease in SSE is maximized.
+
+    With SSE(k) decreasing, the marginal decrease at k is
+    ``SSE(k-1) - SSE(k)``; the chosen K is where the *drop in marginal
+    decrease* is largest — i.e. the K after which adding clusters stops
+    paying.  Formally we maximize the second difference
+    ``(SSE(k-1) - SSE(k)) - (SSE(k) - SSE(k+1))`` over interior K.
+    """
+    if not curve:
+        raise ValueError("empty SSE curve")
+    ks = sorted(curve)
+    if len(ks) < 3:
+        return ks[0]
+    second_diff = {
+        k: (curve[ks[i - 1]] - curve[k]) - (curve[k] - curve[ks[i + 1]])
+        for i, k in enumerate(ks)
+        if 0 < i < len(ks) - 1
+    }
+    return max(second_diff, key=second_diff.get)
+
+
+@dataclass
+class AutoKMeansResult:
+    """Result of the automatic-K pipeline: the chosen clustering + the curve."""
+
+    result: KMeansResult
+    curve: dict[int, float] = field(default_factory=dict)
+    chosen_k: int = 0
+
+
+def kmeans_auto(
+    matrix: np.ndarray,
+    k_range: tuple[int, int] = (2, 10),
+    seed: int = 0,
+    n_init: int = 5,
+) -> AutoKMeansResult:
+    """Sweep K over *k_range*, choose the elbow, return that clustering."""
+    curve = sse_curve(matrix, k_range, seed=seed, n_init=n_init)
+    k = choose_k_elbow(curve)
+    result = kmeans(matrix, k, n_init=n_init, seed=seed)
+    return AutoKMeansResult(result=result, curve=curve, chosen_k=k)

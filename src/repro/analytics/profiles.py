@@ -1,0 +1,144 @@
+"""Cluster characterization: turning K-means groups into knowledge.
+
+The paper's goal is "the characterization of the energy performance of
+buildings located in different areas" and dashboards that are readable by
+non-experts.  A bag of cluster labels is not knowledge; this module turns
+a clustering into the human-readable profile the Figure 4 dashboard
+narrates:
+
+* per-cluster feature statistics and their **z-deviation** from the
+  global mean (which features make this cluster special);
+* a categorical composition panel (e.g. dominant construction period);
+* an automatic natural-language tag per cluster, built from its most
+  deviant features and its response level ("high demand — dispersive
+  envelope, inefficient plant").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dataset.table import ColumnKind, Table
+
+__all__ = ["ClusterProfile", "profile_clusters"]
+
+#: Attribute -> (low-side phrase, high-side phrase) for the tag builder.
+_PHRASES = {
+    "u_value_opaque": ("well-insulated walls", "dispersive walls"),
+    "u_value_windows": ("efficient windows", "dispersive windows"),
+    "eta_h": ("inefficient heating plant", "efficient heating plant"),
+    "aspect_ratio": ("compact shape", "exposed shape"),
+    "heated_surface": ("small units", "large units"),
+}
+
+
+@dataclass
+class ClusterProfile:
+    """Everything a dashboard says about one cluster."""
+
+    cluster: str
+    size: int
+    share: float
+    feature_means: dict[str, float] = field(default_factory=dict)
+    feature_z: dict[str, float] = field(default_factory=dict)
+    response_mean: float = float("nan")
+    response_level: str = "typical"
+    dominant_categories: dict[str, tuple[str, float]] = field(default_factory=dict)
+    tag: str = ""
+
+    def distinctive_features(self, threshold: float = 0.5) -> list[tuple[str, float]]:
+        """Features whose |z| exceeds *threshold*, most deviant first."""
+        out = [(k, z) for k, z in self.feature_z.items() if abs(z) >= threshold]
+        return sorted(out, key=lambda kv: -abs(kv[1]))
+
+
+def _response_level(mean: float, global_mean: float, global_std: float) -> str:
+    if np.isnan(mean) or global_std == 0:
+        return "typical"
+    z = (mean - global_mean) / global_std
+    if z <= -0.5:
+        return "low demand"
+    if z >= 0.5:
+        return "high demand"
+    return "typical demand"
+
+
+def _tag(profile: ClusterProfile) -> str:
+    reasons = []
+    for name, z in profile.distinctive_features(threshold=0.5)[:2]:
+        phrases = _PHRASES.get(name)
+        if phrases is None:
+            continue
+        low, high = phrases
+        # for eta_h a HIGH value is good, phrase order already encodes it
+        reasons.append(high if z > 0 else low)
+    if reasons:
+        return f"{profile.response_level} — {', '.join(reasons)}"
+    return profile.response_level
+
+
+def profile_clusters(
+    table: Table,
+    cluster_column: str,
+    features: list[str],
+    response: str,
+    categorical_attributes: list[str] = (),
+) -> list[ClusterProfile]:
+    """Characterize every cluster of *table*.
+
+    ``table`` must carry the cluster labels as a categorical column (rows
+    with a missing label are skipped).  Returns profiles sorted by
+    response mean ascending — the order the dashboard lists groups in,
+    best-performing first.
+    """
+    feature_arrays = {name: table[name] for name in features}
+    response_values = table[response]
+    global_means = {
+        name: float(np.nanmean(vals)) for name, vals in feature_arrays.items()
+    }
+    global_stds = {
+        name: float(np.nanstd(vals)) or 1.0 for name, vals in feature_arrays.items()
+    }
+    response_mean = float(np.nanmean(response_values))
+    response_std = float(np.nanstd(response_values)) or 1.0
+
+    groups = table.group_indices(cluster_column)
+    groups.pop(None, None)
+    n_assigned = sum(len(idx) for idx in groups.values())
+
+    profiles: list[ClusterProfile] = []
+    for cluster, idx in groups.items():
+        means = {
+            name: float(np.nanmean(vals[idx])) for name, vals in feature_arrays.items()
+        }
+        zs = {
+            name: (means[name] - global_means[name]) / global_stds[name]
+            for name in features
+        }
+        cluster_response = float(np.nanmean(response_values[idx]))
+        dominant: dict[str, tuple[str, float]] = {}
+        for attr in categorical_attributes:
+            if attr not in table or table.kind(attr) is ColumnKind.NUMERIC:
+                continue
+            values = [v for v in table[attr][idx] if v is not None]
+            if not values:
+                continue
+            top, count = Counter(values).most_common(1)[0]
+            dominant[attr] = (top, count / len(values))
+        profile = ClusterProfile(
+            cluster=str(cluster),
+            size=len(idx),
+            share=len(idx) / n_assigned if n_assigned else 0.0,
+            feature_means=means,
+            feature_z=zs,
+            response_mean=cluster_response,
+            response_level=_response_level(cluster_response, response_mean, response_std),
+            dominant_categories=dominant,
+        )
+        profile.tag = _tag(profile)
+        profiles.append(profile)
+    profiles.sort(key=lambda p: (np.isnan(p.response_mean), p.response_mean))
+    return profiles

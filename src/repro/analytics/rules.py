@@ -1,0 +1,181 @@
+"""Association rules with the paper's four quality indices.
+
+"An association rule is expressed in the form A -> B, where A and B are
+disjoint and non-empty itemsets ... INDICE includes four well-known quality
+indices: i) support, ii) confidence, iii) lift, and iv) conviction.
+Default thresholds are set by INDICE however the end-user could change the
+default values" (paper, Section 2.2.2).
+
+Definitions used (standard, matching the paper's citations):
+
+* ``support(A -> B) = P(A ∪ B)``
+* ``confidence(A -> B) = P(A ∪ B) / P(A)``
+* ``lift(A -> B) = confidence / P(B)``  (>1 means positive correlation)
+* ``conviction(A -> B) = (1 - P(B)) / (1 - confidence)``
+  (``inf`` for exact rules, 1 for independent ones)
+
+Template filtering reproduces the paper's "templates to characterize the
+attributes": a rule qualifies when its consequent attributes are within the
+allowed set (typically the response variable) and its antecedent avoids
+excluded attributes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from ..dataset.table import Table
+from .apriori import FrequentItemsets, Item, ItemsetMiner, transactions_from_table
+
+__all__ = ["AssociationRule", "RuleConstraints", "RuleTemplate", "RuleMiner", "generate_rules"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One A -> B rule with its quality indices."""
+
+    antecedent: tuple[Item, ...]
+    consequent: tuple[Item, ...]
+    support: float
+    confidence: float
+    lift: float
+    conviction: float
+
+    def __str__(self) -> str:
+        lhs = ", ".join(str(i) for i in self.antecedent)
+        rhs = ", ".join(str(i) for i in self.consequent)
+        return f"{{{lhs}}} -> {{{rhs}}}"
+
+    @property
+    def length(self) -> int:
+        """Total number of items in the rule."""
+        return len(self.antecedent) + len(self.consequent)
+
+    def attributes(self) -> set[str]:
+        """The attributes referenced anywhere in the rule."""
+        return {i.attribute for i in self.antecedent + self.consequent}
+
+
+@dataclass
+class RuleConstraints:
+    """Quality-index thresholds (INDICE defaults; all user-tunable)."""
+
+    min_support: float = 0.05
+    min_confidence: float = 0.60
+    min_lift: float = 1.0
+    min_conviction: float = 1.0
+
+    def admits(self, rule: AssociationRule) -> bool:
+        """True when the rule satisfies these constraints."""
+        return (
+            rule.support >= self.min_support
+            and rule.confidence >= self.min_confidence
+            and rule.lift >= self.min_lift
+            and rule.conviction >= self.min_conviction
+        )
+
+
+@dataclass
+class RuleTemplate:
+    """Structural constraints on which attributes may appear where.
+
+    ``consequent_attributes``: when non-empty, every consequent item must
+    belong to one of these attributes (e.g. only the response variable).
+    ``antecedent_excludes``: attributes that may never appear on the left.
+    ``max_antecedent``: maximum antecedent length.
+    """
+
+    consequent_attributes: tuple[str, ...] = ()
+    antecedent_excludes: tuple[str, ...] = ()
+    max_antecedent: int | None = None
+
+    def admits(self, rule: AssociationRule) -> bool:
+        """True when the rule satisfies these constraints."""
+        if self.consequent_attributes:
+            allowed = set(self.consequent_attributes)
+            if not all(i.attribute in allowed for i in rule.consequent):
+                return False
+        if self.antecedent_excludes:
+            banned = set(self.antecedent_excludes)
+            if any(i.attribute in banned for i in rule.antecedent):
+                return False
+        if self.max_antecedent is not None and len(rule.antecedent) > self.max_antecedent:
+            return False
+        return True
+
+
+def generate_rules(
+    itemsets: FrequentItemsets,
+    constraints: RuleConstraints | None = None,
+    template: RuleTemplate | None = None,
+) -> list[AssociationRule]:
+    """All rules derivable from *itemsets* that pass constraints + template.
+
+    Every frequent itemset of size >= 2 is split into all non-empty
+    antecedent/consequent partitions.  Confidence needs the antecedent's
+    support and lift/conviction the consequent's; both are frequent subsets
+    of a frequent itemset, so they are always available.
+    """
+    constraints = constraints or RuleConstraints()
+    rules: list[AssociationRule] = []
+    for itemset, support in itemsets.supports.items():
+        if len(itemset) < 2:
+            continue
+        for r in range(1, len(itemset)):
+            for antecedent in itertools.combinations(itemset, r):
+                consequent = tuple(i for i in itemset if i not in antecedent)
+                supp_a = itemsets.supports[tuple(sorted(antecedent))]
+                supp_b = itemsets.supports[tuple(sorted(consequent))]
+                confidence = support / supp_a
+                lift = confidence / supp_b
+                conviction = (
+                    math.inf if confidence >= 1.0 else (1.0 - supp_b) / (1.0 - confidence)
+                )
+                rule = AssociationRule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support=support,
+                    confidence=confidence,
+                    lift=lift,
+                    conviction=conviction,
+                )
+                if constraints.admits(rule) and (template is None or template.admits(rule)):
+                    rules.append(rule)
+    return rules
+
+
+@dataclass
+class RuleMiner:
+    """End-to-end rule mining over a (discretized) table.
+
+    Combines :class:`~repro.analytics.apriori.ItemsetMiner` with rule
+    generation, constraint filtering and top-k ranking — the full
+    Section 2.2.2 path.
+    """
+
+    constraints: RuleConstraints = field(default_factory=RuleConstraints)
+    template: RuleTemplate | None = None
+    max_length: int = 4
+
+    def mine(self, table: Table, attributes: list[str]) -> list[AssociationRule]:
+        """Mine rules from the categorical *attributes* of *table*."""
+        transactions = transactions_from_table(table, attributes)
+        miner = ItemsetMiner(
+            min_support=self.constraints.min_support, max_length=self.max_length
+        )
+        itemsets = miner.mine(transactions)
+        return generate_rules(itemsets, self.constraints, self.template)
+
+    @staticmethod
+    def top_k(
+        rules: list[AssociationRule], k: int, by: str = "lift"
+    ) -> list[AssociationRule]:
+        """The *k* best rules by a quality index (``support``, ``confidence``,
+        ``lift`` or ``conviction``); ties break toward higher support."""
+        if by not in ("support", "confidence", "lift", "conviction"):
+            raise ValueError(f"unknown quality index {by!r}")
+        return sorted(
+            rules, key=lambda r: (getattr(r, by), r.support), reverse=True
+        )[:k]

@@ -1,0 +1,205 @@
+"""Descriptive statistics and frequency distributions for dashboards.
+
+"For numeric data, INDICE includes count, mean, standard deviation and the
+three quartiles (i.e., median, first and third quartiles), while for
+categorical attributes, the count, the most common value's frequency (i.e.,
+mode) and the top-k frequent values are reported. ... For a given area, the
+frequency distributions (e.g., quartiles or deciles) of the features
+selected for the visualization task are reported." (paper, Section 2.3.)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.table import ColumnKind, Table
+
+__all__ = [
+    "NumericSummary",
+    "CategoricalSummary",
+    "Histogram",
+    "summarize_numeric",
+    "summarize_categorical",
+    "summarize_table",
+    "histogram",
+    "quantile_bins",
+    "grouped_histograms",
+]
+
+
+@dataclass(frozen=True)
+class NumericSummary:
+    """The paper's numeric panel: count, mean, std and the three quartiles."""
+
+    attribute: str
+    count: int
+    mean: float
+    std: float
+    q1: float
+    median: float
+    q3: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """The summary as a plain dict (stable key names)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+@dataclass(frozen=True)
+class CategoricalSummary:
+    """The paper's categorical panel: count, mode frequency, top-k values."""
+
+    attribute: str
+    count: int
+    n_distinct: int
+    mode: str | None
+    mode_frequency: int
+    top_values: tuple[tuple[str, int], ...]
+
+
+def summarize_numeric(values: np.ndarray, attribute: str = "") -> NumericSummary:
+    """Summary of a numeric array (NaN-aware)."""
+    values = np.asarray(values, dtype=np.float64)
+    present = values[~np.isnan(values)]
+    if len(present) == 0:
+        nan = float("nan")
+        return NumericSummary(attribute, 0, nan, nan, nan, nan, nan, nan, nan)
+    q1, median, q3 = np.percentile(present, [25, 50, 75])
+    return NumericSummary(
+        attribute=attribute,
+        count=int(len(present)),
+        mean=float(present.mean()),
+        std=float(present.std(ddof=1)) if len(present) > 1 else 0.0,
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        minimum=float(present.min()),
+        maximum=float(present.max()),
+    )
+
+
+def summarize_categorical(
+    values, attribute: str = "", top_k: int = 5
+) -> CategoricalSummary:
+    """Summary of a categorical array (None-aware)."""
+    present = [v for v in values if v is not None]
+    counts = Counter(present)
+    top = counts.most_common(top_k)
+    mode, mode_freq = (top[0] if top else (None, 0))
+    return CategoricalSummary(
+        attribute=attribute,
+        count=len(present),
+        n_distinct=len(counts),
+        mode=mode,
+        mode_frequency=mode_freq,
+        top_values=tuple(top),
+    )
+
+
+def summarize_table(
+    table: Table, attributes: list[str] | None = None, top_k: int = 5
+) -> dict[str, NumericSummary | CategoricalSummary]:
+    """Per-attribute summaries, dispatched by column kind."""
+    names = attributes if attributes is not None else table.column_names
+    out: dict[str, NumericSummary | CategoricalSummary] = {}
+    for name in names:
+        if table.kind(name) is ColumnKind.NUMERIC:
+            out[name] = summarize_numeric(table[name], name)
+        else:
+            out[name] = summarize_categorical(table[name], name, top_k)
+    return out
+
+
+@dataclass
+class Histogram:
+    """A binned frequency distribution ready for a bar chart."""
+
+    attribute: str
+    edges: np.ndarray
+    counts: np.ndarray
+    label: str = ""
+
+    @property
+    def n(self) -> int:
+        """Total count over all bins."""
+        return int(self.counts.sum())
+
+    def densities(self) -> np.ndarray:
+        """Counts normalized to fractions (zeros for an empty histogram)."""
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / total
+
+    def bin_centers(self) -> np.ndarray:
+        """Midpoint of each bin, aligned with ``counts``."""
+        return (self.edges[:-1] + self.edges[1:]) / 2
+
+
+def histogram(
+    values: np.ndarray,
+    bins: int = 20,
+    attribute: str = "",
+    value_range: tuple[float, float] | None = None,
+    label: str = "",
+) -> Histogram:
+    """NaN-aware histogram with equal-width bins."""
+    values = np.asarray(values, dtype=np.float64)
+    present = values[~np.isnan(values)]
+    if len(present) == 0:
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        return Histogram(attribute, edges, np.zeros(bins, dtype=np.intp), label)
+    counts, edges = np.histogram(present, bins=bins, range=value_range)
+    return Histogram(attribute, edges, counts, label)
+
+
+def quantile_bins(values: np.ndarray, n_bins: int = 4) -> np.ndarray:
+    """Quantile bin edges (quartiles for 4, deciles for 10) over non-NaN data."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    values = np.asarray(values, dtype=np.float64)
+    present = values[~np.isnan(values)]
+    if len(present) == 0:
+        return np.array([])
+    qs = np.linspace(0, 100, n_bins + 1)
+    return np.percentile(present, qs)
+
+
+def grouped_histograms(
+    table: Table,
+    attribute: str,
+    by: str,
+    bins: int = 20,
+) -> dict[object, Histogram]:
+    """Per-group histograms of *attribute*, grouped by column *by*.
+
+    All histograms share one global bin range so they are visually
+    comparable — this is what the Figure 4 dashboard shows (EP_H
+    distribution per cluster).
+    """
+    values = table[attribute]
+    present = values[~np.isnan(values)]
+    if len(present) == 0:
+        value_range = (0.0, 1.0)
+    else:
+        value_range = (float(present.min()), float(present.max()))
+    out: dict[object, Histogram] = {}
+    for key, idx in table.group_indices(by).items():
+        out[key] = histogram(
+            values[idx], bins=bins, attribute=attribute,
+            value_range=value_range, label=str(key),
+        )
+    return out

@@ -1,0 +1,148 @@
+"""Supervised techniques for benchmarking analysis.
+
+The paper's energy scientists "explore and characterize through supervised
+and unsupervised techniques groups of buildings with similar properties"
+(Section 2.2.1), and the future-work section plans more supervised
+analytics.  This module adds the supervised half:
+
+* :class:`KnnClassifier` — k-nearest-neighbour classification (e.g.
+  predicting a unit's energy class from its thermo-physical features:
+  the certificate-free screening task EPC literature calls *label
+  inference*);
+* regression evaluation helpers (:func:`mean_absolute_error`,
+  :func:`r2_score`) for using :class:`~repro.analytics.cart.RegressionTree`
+  as an EP_H predictor;
+* :func:`train_test_split` and :func:`confusion_matrix` so the examples
+  and benchmarks can report honest held-out numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "train_test_split",
+    "KnnClassifier",
+    "confusion_matrix",
+    "accuracy",
+    "mean_absolute_error",
+    "r2_score",
+]
+
+
+def train_test_split(
+    n_rows: int, test_fraction: float = 0.25, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic shuffled (train_indices, test_indices) split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n_rows)
+    n_test = max(1, int(round(n_rows * test_fraction)))
+    return order[n_test:], order[:n_test]
+
+
+@dataclass
+class KnnClassifier:
+    """k-nearest-neighbour classifier over standardized features.
+
+    Stores the training matrix; prediction is a majority vote among the k
+    nearest training rows (Euclidean).  Ties break toward the closest
+    neighbour's class.  Rows with NaN features predict ``None``.
+    """
+
+    k: int = 15
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        self._train_x: np.ndarray | None = None
+        self._train_y: list = []
+
+    def fit(self, x: np.ndarray, y) -> "KnnClassifier":
+        """Fit on feature matrix *x* and labels *y* (None labels dropped)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = list(y)
+        if len(x) != len(y):
+            raise ValueError("x and y must be aligned")
+        keep = ~np.isnan(x).any(axis=1) & np.array([v is not None for v in y])
+        if not keep.any():
+            raise ValueError("no complete training samples")
+        self._train_x = x[keep]
+        self._train_y = [y[i] for i in np.flatnonzero(keep)]
+        return self
+
+    def predict(self, x: np.ndarray) -> list:
+        """Predicted class per row (``None`` for NaN rows)."""
+        if self._train_x is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        k = min(self.k, len(self._train_x))
+        sq_train = np.sum(self._train_x**2, axis=1)
+        out: list = []
+        for row in x:
+            if np.isnan(row).any():
+                out.append(None)
+                continue
+            dist_sq = sq_train - 2 * self._train_x @ row + row @ row
+            nearest = np.argpartition(dist_sq, k - 1)[:k]
+            nearest = nearest[np.argsort(dist_sq[nearest], kind="stable")]
+            votes = Counter(self._train_y[i] for i in nearest)
+            top = max(votes.values())
+            # tie-break toward the closest neighbour's class
+            winner = next(
+                self._train_y[i] for i in nearest if votes[self._train_y[i]] == top
+            )
+            out.append(winner)
+        return out
+
+
+def confusion_matrix(truth, predicted) -> dict[tuple, int]:
+    """``{(true_class, predicted_class): count}`` over comparable pairs."""
+    out: dict[tuple, int] = {}
+    for t, p in zip(truth, predicted):
+        if t is None or p is None:
+            continue
+        out[(t, p)] = out.get((t, p), 0) + 1
+    return out
+
+
+def accuracy(truth, predicted) -> float:
+    """Share of comparable pairs predicted exactly; NaN if none."""
+    total = correct = 0
+    for t, p in zip(truth, predicted):
+        if t is None or p is None:
+            continue
+        total += 1
+        correct += t == p
+    return correct / total if total else float("nan")
+
+
+def mean_absolute_error(truth: np.ndarray, predicted: np.ndarray) -> float:
+    """MAE over pairwise-complete entries."""
+    truth = np.asarray(truth, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    keep = ~(np.isnan(truth) | np.isnan(predicted))
+    if not keep.any():
+        return float("nan")
+    return float(np.abs(truth[keep] - predicted[keep]).mean())
+
+
+def r2_score(truth: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination over pairwise-complete entries."""
+    truth = np.asarray(truth, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    keep = ~(np.isnan(truth) | np.isnan(predicted))
+    if keep.sum() < 2:
+        return float("nan")
+    t, p = truth[keep], predicted[keep]
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    if ss_tot == 0:
+        return float("nan")
+    return 1.0 - ss_res / ss_tot

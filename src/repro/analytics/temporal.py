@@ -1,0 +1,116 @@
+"""Temporal views of an EPC collection.
+
+The paper's collection spans certificates "issued in the years between
+2016 and 2018"; registries accumulate, and stakeholders read them over
+time: how issuance volume evolves, whether the certified stock is getting
+better (new constructions and renovations push the mean demand down), and
+how the energy-class mix shifts.  This module computes those series so
+the dashboard can plot them with the existing chart primitives.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dataset.table import ColumnKind, Table
+
+__all__ = ["YearlySlice", "TemporalSummary", "temporal_summary"]
+
+
+@dataclass(frozen=True)
+class YearlySlice:
+    """Aggregates of the certificates issued in one year."""
+
+    year: int
+    n_certificates: int
+    mean_response: float
+    median_response: float
+    class_mix: tuple[tuple[str, int], ...] = ()
+
+    def class_share(self, label: str) -> float:
+        """Fraction of this year's certificates in class *label*."""
+        total = sum(c for __, c in self.class_mix)
+        if total == 0:
+            return 0.0
+        return dict(self.class_mix).get(label, 0) / total
+
+
+@dataclass
+class TemporalSummary:
+    """Ordered yearly slices plus trend helpers."""
+
+    response: str
+    slices: list[YearlySlice] = field(default_factory=list)
+
+    def years(self) -> list[int]:
+        """The issue years present, ascending."""
+        return [s.year for s in self.slices]
+
+    def counts(self) -> list[int]:
+        """Certificates issued per year, aligned with :meth:`years`."""
+        return [s.n_certificates for s in self.slices]
+
+    def mean_series(self) -> list[float]:
+        """Mean response per year, aligned with :meth:`years`."""
+        return [s.mean_response for s in self.slices]
+
+    def response_trend(self) -> float:
+        """Least-squares slope of the yearly mean response (units/year).
+
+        Negative = the certified stock improves over time.  NaN when
+        fewer than two years carry data.
+        """
+        years = np.array([s.year for s in self.slices], dtype=np.float64)
+        means = np.array([s.mean_response for s in self.slices], dtype=np.float64)
+        keep = ~np.isnan(means)
+        if keep.sum() < 2:
+            return float("nan")
+        slope, __ = np.polyfit(years[keep], means[keep], 1)
+        return float(slope)
+
+
+def temporal_summary(
+    table: Table,
+    response: str = "eph",
+    year_column: str = "certificate_year",
+    class_column: str = "energy_class",
+) -> TemporalSummary:
+    """Per-issue-year aggregation of *table*.
+
+    Rows with a missing year are skipped.  The class mix is included when
+    *class_column* exists and is categorical.
+    """
+    years = table[year_column]
+    response_values = table[response]
+    has_classes = class_column in table and table.kind(class_column) is not ColumnKind.NUMERIC
+
+    by_year: dict[int, list[int]] = {}
+    for i, y in enumerate(years):
+        if np.isnan(y):
+            continue
+        by_year.setdefault(int(y), []).append(i)
+
+    summary = TemporalSummary(response=response)
+    for year in sorted(by_year):
+        idx = np.asarray(by_year[year], dtype=np.intp)
+        values = response_values[idx]
+        present = values[~np.isnan(values)]
+        mix: tuple[tuple[str, int], ...] = ()
+        if has_classes:
+            counts = Counter(
+                v for v in table[class_column][idx] if v is not None
+            )
+            mix = tuple(sorted(counts.items()))
+        summary.slices.append(
+            YearlySlice(
+                year=year,
+                n_certificates=len(idx),
+                mean_response=float(present.mean()) if len(present) else float("nan"),
+                median_response=float(np.median(present)) if len(present) else float("nan"),
+                class_mix=mix,
+            )
+        )
+    return summary

@@ -1,0 +1,110 @@
+"""Internal cluster-validation indices.
+
+INDICE selects K from the SSE elbow (paper, Section 2.2.2); the
+future-work extensions add alternative clusterers, which need
+algorithm-agnostic quality measures to compare cuts.  Two classic
+internal indices are provided:
+
+* :func:`silhouette_score` — mean silhouette over points (in [-1, 1],
+  higher is better); exact O(n²), with deterministic subsampling for
+  large inputs;
+* :func:`davies_bouldin` — average worst-case cluster similarity (lower
+  is better), O(n·k).
+
+Both ignore unassigned rows (label < 0) and rows with NaN features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["silhouette_score", "davies_bouldin"]
+
+
+def _validated(points: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.ndim != 2:
+        raise ValueError(f"expected an (n, d) matrix, got shape {points.shape}")
+    if len(points) != len(labels):
+        raise ValueError("points and labels must be aligned")
+    keep = (labels >= 0) & ~np.isnan(points).any(axis=1)
+    return points[keep], labels[keep]
+
+
+def silhouette_score(
+    points: np.ndarray,
+    labels: np.ndarray,
+    max_points: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Mean silhouette coefficient of a labelling.
+
+    For each point, ``a`` is its mean distance to its own cluster and
+    ``b`` the smallest mean distance to any other cluster; the silhouette
+    is ``(b - a) / max(a, b)``.  Inputs larger than *max_points* are
+    subsampled deterministically (stratification is unnecessary at these
+    sizes; the estimate is unbiased).
+
+    Returns NaN when fewer than 2 clusters survive validation.
+    """
+    coords, labs = _validated(points, labels)
+    unique = np.unique(labs)
+    if len(unique) < 2 or len(coords) < 3:
+        return float("nan")
+    if len(coords) > max_points:
+        rng = np.random.default_rng(seed)
+        pick = rng.choice(len(coords), size=max_points, replace=False)
+        coords, labs = coords[pick], labs[pick]
+        unique = np.unique(labs)
+        if len(unique) < 2:
+            return float("nan")
+
+    sq = np.sum(coords**2, axis=1)
+    dist = np.sqrt(np.maximum(sq[:, None] - 2 * coords @ coords.T + sq[None, :], 0.0))
+
+    members = {c: np.flatnonzero(labs == c) for c in unique}
+    scores = np.empty(len(coords), dtype=np.float64)
+    for i in range(len(coords)):
+        own = members[labs[i]]
+        if len(own) == 1:
+            scores[i] = 0.0  # convention for singleton clusters
+            continue
+        a = dist[i, own].sum() / (len(own) - 1)
+        b = min(
+            dist[i, members[c]].mean() for c in unique if c != labs[i]
+        )
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def davies_bouldin(points: np.ndarray, labels: np.ndarray) -> float:
+    """Davies–Bouldin index (lower is better; 0 for perfectly separated).
+
+    ``DB = mean_i max_{j != i} (s_i + s_j) / d(c_i, c_j)`` where ``s_i``
+    is cluster i's mean centroid distance and ``c_i`` its centroid.
+    Returns NaN when fewer than 2 clusters survive validation.
+    """
+    coords, labs = _validated(points, labels)
+    unique = np.unique(labs)
+    if len(unique) < 2:
+        return float("nan")
+    centroids = np.vstack([coords[labs == c].mean(axis=0) for c in unique])
+    scatters = np.array(
+        [
+            np.linalg.norm(coords[labs == c] - centroids[i], axis=1).mean()
+            for i, c in enumerate(unique)
+        ]
+    )
+    k = len(unique)
+    worst = np.zeros(k)
+    for i in range(k):
+        for j in range(k):
+            if i == j:
+                continue
+            gap = np.linalg.norm(centroids[i] - centroids[j])
+            if gap == 0:
+                return float("inf")
+            worst[i] = max(worst[i], (scatters[i] + scatters[j]) / gap)
+    return float(worst.mean())

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the zero-to-dashboard path:
+
+* ``generate`` — write the synthetic Piedmont collection (clean and/or
+  dirty) to CSV, for inspection or for feeding external tools;
+* ``suggest`` — print the automatic configuration advice for a collection
+  (the paper's future-work advisor);
+* ``run`` — execute the full pipeline and write the stakeholder dashboard
+  plus the provenance log.
+
+Every command is seeded and offline; see ``python -m repro --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import Granularity, Indice, IndiceConfig, Stakeholder
+from .core.autoconfig import suggest_config
+from .dataset import (
+    NoiseConfig,
+    SyntheticConfig,
+    apply_noise,
+    generate_epc_collection,
+    write_csv,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` command line."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="INDICE — EPC exploration through visualization (EDBT/BigVis 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write the synthetic EPC collection to CSV")
+    gen.add_argument("output", type=Path, help="output CSV path")
+    gen.add_argument("--certificates", type=int, default=25000)
+    gen.add_argument("--seed", type=int, default=2322)
+    gen.add_argument("--clean", action="store_true",
+                     help="skip noise injection (default: dirty, like real data)")
+
+    sug = sub.add_parser("suggest", help="print automatic configuration advice")
+    sug.add_argument("--certificates", type=int, default=5000)
+    sug.add_argument("--seed", type=int, default=2322)
+
+    run = sub.add_parser("run", help="run the full pipeline and write a dashboard")
+    run.add_argument("output", type=Path, help="output dashboard HTML path")
+    run.add_argument("--certificates", type=int, default=5000)
+    run.add_argument("--seed", type=int, default=2322)
+    run.add_argument(
+        "--stakeholder",
+        choices=[s.value for s in Stakeholder],
+        default=Stakeholder.PUBLIC_ADMINISTRATION.value,
+    )
+    run.add_argument(
+        "--granularity",
+        choices=[g.name.lower() for g in Granularity],
+        default=None,
+        help="map zoom level (default: the stakeholder profile's)",
+    )
+    run.add_argument("--auto-config", action="store_true",
+                     help="let the advisor pick the analysis configuration")
+
+    serve = sub.add_parser("serve", help="analyze once, then serve the dashboards over HTTP")
+    serve.add_argument("--certificates", type=int, default=5000)
+    serve.add_argument("--seed", type=int, default=2322)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350)
+    return parser
+
+
+def _make_collection(n: int, seed: int, dirty: bool):
+    collection = generate_epc_collection(
+        SyntheticConfig(n_certificates=n, seed=seed)
+    )
+    if dirty:
+        noisy = apply_noise(collection, NoiseConfig(seed=seed + 1))
+        collection.table = noisy.table
+    return collection
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    collection = _make_collection(args.certificates, args.seed, dirty=not args.clean)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    write_csv(collection.table, args.output)
+    state = "clean" if args.clean else "dirty"
+    print(f"wrote {collection.n_certificates} {state} certificates "
+          f"({collection.table.n_columns} attributes) to {args.output}")
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    collection = _make_collection(args.certificates, args.seed, dirty=True)
+    advice = suggest_config(collection.table)
+    print(advice.describe())
+    cfg = advice.config
+    print(f"\nsuggested: outlier={cfg.outlier_method.value}, "
+          f"k_range={cfg.k_range}, "
+          f"min_support={cfg.rule_constraints.min_support:.3f}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    collection = _make_collection(args.certificates, args.seed, dirty=True)
+    if args.auto_config:
+        config = suggest_config(collection.table).config
+    else:
+        config = IndiceConfig()
+    engine = Indice(collection, config)
+    granularity = (
+        Granularity[args.granularity.upper()] if args.granularity else None
+    )
+    dashboard = engine.run(Stakeholder(args.stakeholder), granularity)
+    path = dashboard.save(args.output)
+    print(engine.log.describe())
+    print(f"\ndashboard written to {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DashboardServer
+
+    collection = _make_collection(args.certificates, args.seed, dirty=True)
+    engine = Indice(collection, IndiceConfig())
+    engine.preprocess()
+    engine.analyze()
+    DashboardServer(engine).serve(args.host, args.port)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "suggest": _cmd_suggest,
+    "run": _cmd_run,
+    "serve": _cmd_serve,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""INDICE core: configuration, sessions and the pipeline engine."""
+
+from .config import DEFAULT_DISCRETIZATION_PLAN, IndiceConfig
+from .engine import AnalyticsOutcome, Indice, PreprocessingOutcome
+from .session import ProvenanceLog, ProvenanceStep
+from .autoconfig import AttributeAdvice, ConfigAdvice, suggest_config
+from .report import generate_report
+
+__all__ = [
+    "DEFAULT_DISCRETIZATION_PLAN",
+    "IndiceConfig",
+    "AnalyticsOutcome",
+    "Indice",
+    "PreprocessingOutcome",
+    "ProvenanceLog",
+    "ProvenanceStep",
+    "AttributeAdvice",
+    "ConfigAdvice",
+    "suggest_config",
+    "generate_report",
+]

@@ -1,0 +1,69 @@
+"""Configuration of an INDICE analysis run.
+
+One object gathers every knob of the three tiers (pre-processing, data
+selection & analytics, visualization), with defaults reproducing the
+paper's Section 3 case study: Turin, housing units of type E.1.1, the five
+thermo-physical features, EP_H as response, MAD outlier filtering with the
+3.5 cut-off, elbow-selected K in [2, 10], footnote-4 discretization plan
+and the default rule-quality thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dataset.schema import PAPER_CLUSTERING_FEATURES, PAPER_RESPONSE
+from ..preprocessing.address_cleaner import CleaningConfig
+from ..preprocessing.outliers import OutlierMethod
+from ..analytics.rules import RuleConstraints, RuleTemplate
+
+__all__ = ["IndiceConfig", "DEFAULT_DISCRETIZATION_PLAN"]
+
+#: Footnote 4: U_w -> 4 classes, U_o -> 3 classes, ETAH -> 3 classes; the
+#: response is discretized into 3 classes so it can appear in rules.
+DEFAULT_DISCRETIZATION_PLAN = {
+    "u_value_windows": 4,
+    "u_value_opaque": 3,
+    "eta_h": 3,
+    PAPER_RESPONSE: 3,
+}
+
+
+@dataclass
+class IndiceConfig:
+    """All tunables of one analysis run (paper defaults)."""
+
+    # -- selection (Section 3 case study) --
+    city: str = "Turin"
+    building_type: str = "E.1.1"
+    features: tuple[str, ...] = PAPER_CLUSTERING_FEATURES
+    response: str = PAPER_RESPONSE
+
+    # -- pre-processing --
+    cleaning: CleaningConfig = field(default_factory=CleaningConfig)
+    geocoder_quota: int = 2500
+    outlier_method: OutlierMethod = OutlierMethod.MAD
+    outlier_params: dict = field(default_factory=dict)
+    #: Per-attribute overrides of the global method, e.g. the stored
+    #: expert choices of Section 2.1.2: {"eta_h": (OutlierMethod.GESD,
+    #: {"alpha": 0.01})}.
+    outlier_overrides: dict = field(default_factory=dict)
+    run_multivariate_outliers: bool = True
+
+    # -- analytics --
+    k_range: tuple[int, int] = (2, 10)
+    kmeans_n_init: int = 5
+    seed: int = 0
+    discretization_plan: dict = field(
+        default_factory=lambda: dict(DEFAULT_DISCRETIZATION_PLAN)
+    )
+    rule_constraints: RuleConstraints = field(default_factory=RuleConstraints)
+    rule_template: RuleTemplate | None = None
+    correlation_threshold: float = 0.5
+
+    def __post_init__(self):
+        if self.rule_template is None:
+            # default template: explain the response variable
+            self.rule_template = RuleTemplate(consequent_attributes=(self.response,))
+        if self.response in self.features:
+            raise ValueError("the response variable cannot be a clustering feature")

@@ -1,0 +1,506 @@
+"""The INDICE engine: the full Figure 1 pipeline behind one façade.
+
+``Indice`` wires the three tiers together:
+
+1. **Data pre-processing** — geospatial cleaning against the referenced
+   street map (with the metered geocoder fallback), then univariate outlier
+   filtering on the analysis attributes and optional DBSCAN multivariate
+   filtering with auto-estimated parameters;
+2. **Data selection and analytics** — the case-study selection (city +
+   building type), correlation-eligibility check, K-means with
+   elbow-selected K, CART discretization and association-rule mining;
+3. **Data and knowledge visualization** — stakeholder-tailored dashboards
+   combining the three energy maps, frequency distributions, the rules
+   table and the correlation matrix.
+
+Each phase returns a typed outcome object and appends to the session's
+provenance log, so the pipeline can be run piecemeal (as the benchmarks
+do) or end-to-end via :meth:`Indice.run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analytics.correlation import CorrelationMatrix, correlation_matrix
+from ..analytics.discretize import Discretization, discretize_table
+from ..analytics.kmeans import AutoKMeansResult, kmeans_auto, standardize
+from ..analytics.rules import AssociationRule, RuleMiner
+from ..analytics.stats import grouped_histograms, summarize_table
+from ..analytics.temporal import temporal_summary
+from ..dashboard.charts import boxplot_chart
+from ..dashboard.dashboard import Panel
+from ..preprocessing.outliers import boxplot_outliers
+from ..dataset.synthetic import EpcCollection
+from ..dataset.table import Column, ColumnKind, Table
+from ..dashboard.dashboard import Dashboard, DashboardBuilder, NavigableDashboard
+from ..dashboard.maps import (
+    choropleth_map,
+    choropleth_with_scatter_map,
+    cluster_marker_map,
+    scatter_map,
+)
+from ..geo.regions import Granularity
+from ..preprocessing.address_cleaner import AddressCleaner, CleaningReport
+from ..preprocessing.dbscan import dbscan
+from ..preprocessing.geocoder import SimulatedGeocoder
+from ..preprocessing.kdistance import estimate_dbscan_params
+from ..preprocessing.outliers import OutlierResult, detect_outliers
+from ..preprocessing.quality import QualityProfile, assess_quality
+from ..query.engine import Query, QueryEngine
+from ..query.predicates import Comparison
+from ..query.stakeholders import Stakeholder, profile_for
+from .config import IndiceConfig
+from .session import ProvenanceLog
+
+__all__ = ["Indice", "PreprocessingOutcome", "AnalyticsOutcome"]
+
+
+@dataclass
+class PreprocessingOutcome:
+    """What tier 1 produced."""
+
+    table: Table
+    cleaning_report: CleaningReport
+    univariate_outliers: dict[str, OutlierResult] = field(default_factory=dict)
+    multivariate_noise: np.ndarray | None = None
+    n_rows_in: int = 0
+    n_rows_out: int = 0
+    quality: QualityProfile | None = None
+
+    @property
+    def n_outlier_rows(self) -> int:
+        """Rows removed by the outlier filters."""
+        return self.n_rows_in - self.n_rows_out
+
+
+@dataclass
+class AnalyticsOutcome:
+    """What tier 2 produced."""
+
+    table: Table  # analysis selection with the cluster column attached
+    correlation: CorrelationMatrix
+    clustering: AutoKMeansResult
+    discretizations: dict[str, Discretization] = field(default_factory=dict)
+    rules: list[AssociationRule] = field(default_factory=list)
+
+    @property
+    def cluster_column(self) -> str:
+        """Name of the attached cluster-label column."""
+        return "cluster"
+
+
+class Indice:
+    """INformative DynamiC dashboard Engine (reproduction).
+
+    Parameters
+    ----------
+    collection:
+        The EPC collection (table + referenced street map + hierarchy).
+        The table may be dirty — that is the expected input.
+    config:
+        All pipeline knobs; defaults reproduce the Section 3 case study.
+    """
+
+    def __init__(self, collection: EpcCollection, config: IndiceConfig | None = None):
+        self.collection = collection
+        self.config = config or IndiceConfig()
+        self.log = ProvenanceLog()
+        self._preprocessed: PreprocessingOutcome | None = None
+        self._analyzed: AnalyticsOutcome | None = None
+
+    # ------------------------------------------------------------------
+    # Tier 1: data pre-processing
+    # ------------------------------------------------------------------
+
+    def preprocess(self, table: Table | None = None) -> PreprocessingOutcome:
+        """Clean geospatial attributes, then drop outlier rows.
+
+        Rows flagged by the configured univariate detector on any analysis
+        attribute are removed ("values labelled as outliers are not
+        considered in the subsequent steps", Section 2.1.2); the optional
+        DBSCAN pass then removes multivariate noise over the standardized
+        analysis features.
+        """
+        cfg = self.config
+        table = table if table is not None else self.collection.table
+        n_in = table.n_rows
+
+        # diagnostic pass first: how dirty is the input? (never mutates)
+        quality = assess_quality(
+            table,
+            schema=self.collection.schema,
+            hierarchy=self.collection.hierarchy,
+            attributes=list(cfg.features)
+            + [cfg.response, "certificate_id", "latitude", "longitude"],
+        )
+        self.log.record(
+            "preprocessing", "quality_assessment",
+            missing_rate=round(quality.overall_missing_rate(), 4),
+            unlocated=quality.n_unlocated,
+            outside_region=quality.n_outside_region,
+            duplicates=quality.n_duplicate_certificates,
+        )
+
+        # The referenced street map covers the city under analysis (the paper
+        # downloads it per city), so cleaning is scoped to that city's rows:
+        # matching out-of-city addresses against it would mis-geocode them.
+        city_mask = Comparison("city", "==", cfg.city).mask(table)
+        city_rows = np.flatnonzero(city_mask)
+        geocoder = SimulatedGeocoder(
+            self.collection.street_map, quota=cfg.geocoder_quota
+        )
+        cleaner = AddressCleaner(self.collection.street_map, cfg.cleaning, geocoder)
+        report = cleaner.clean_table(table.take(city_rows))
+        self.log.record(
+            "preprocessing", "geospatial_cleaning",
+            city=cfg.city,
+            phi=cfg.cleaning.phi,
+            rows_cleaned=len(city_rows),
+            resolution_rate=round(report.resolution_rate(), 4),
+            geocoder_requests=report.geocoder_requests,
+        )
+        cleaned = self._scatter_cleaned(table, report.table, city_rows)
+
+        analysis_attributes = tuple(cfg.features) + (cfg.response,)
+        keep = np.ones(cleaned.n_rows, dtype=bool)
+        univariate: dict[str, OutlierResult] = {}
+        for name in analysis_attributes:
+            method, params = cfg.outlier_overrides.get(
+                name, (cfg.outlier_method, cfg.outlier_params)
+            )
+            result = detect_outliers(cleaned[name], method, **params)
+            univariate[name] = result
+            keep &= ~result.mask
+            self.log.record(
+                "preprocessing", "univariate_outliers",
+                attribute=name, method=method.value,
+                flagged=result.n_outliers,
+            )
+        filtered = cleaned.where(keep)
+
+        noise_mask = None
+        if cfg.run_multivariate_outliers:
+            matrix, __ = standardize(filtered.to_matrix(list(cfg.features)))
+            estimate = estimate_dbscan_params(matrix)
+            result = dbscan(matrix, estimate.eps, estimate.min_points)
+            complete = ~np.isnan(matrix).any(axis=1)
+            noise_mask = result.noise_mask & complete  # missing rows are kept
+            filtered = filtered.where(~noise_mask)
+            self.log.record(
+                "preprocessing", "multivariate_outliers",
+                eps=round(estimate.eps, 4), min_points=estimate.min_points,
+                flagged=int(noise_mask.sum()),
+            )
+
+        outcome = PreprocessingOutcome(
+            table=filtered,
+            cleaning_report=report,
+            univariate_outliers=univariate,
+            multivariate_noise=noise_mask,
+            n_rows_in=n_in,
+            n_rows_out=filtered.n_rows,
+            quality=quality,
+        )
+        self._preprocessed = outcome
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Tier 2: data selection and analytics
+    # ------------------------------------------------------------------
+
+    def select_case_study(self, table: Table | None = None) -> Table:
+        """The paper's selection: configured city + building type."""
+        cfg = self.config
+        table = table if table is not None else self._require_preprocessed().table
+        query = Query(
+            where=Comparison("city", "==", cfg.city)
+            & Comparison("building_type", "==", cfg.building_type)
+        )
+        result = QueryEngine(table).execute(query)
+        self.log.record(
+            "selection", "case_study",
+            city=cfg.city, building_type=cfg.building_type,
+            rows=result.n_rows, selectivity=round(result.selectivity, 4),
+        )
+        return result.table
+
+    def analyze(self, table: Table | None = None) -> AnalyticsOutcome:
+        """Correlation check, clustering, discretization and rule mining."""
+        cfg = self.config
+        table = table if table is not None else self.select_case_study()
+
+        correlation = correlation_matrix(table, list(cfg.features))
+        self.log.record(
+            "analytics", "correlation",
+            max_abs_rho=round(correlation.max_abs_off_diagonal(), 4),
+            eligible=correlation.is_eligible(cfg.correlation_threshold),
+        )
+
+        matrix, __ = standardize(table.to_matrix(list(cfg.features)))
+        clustering = kmeans_auto(
+            matrix, cfg.k_range, seed=cfg.seed, n_init=cfg.kmeans_n_init
+        )
+        self.log.record(
+            "analytics", "kmeans",
+            chosen_k=clustering.chosen_k,
+            sse=round(clustering.result.sse, 2),
+        )
+        cluster_values = np.array(
+            [str(c) if c >= 0 else None for c in clustering.result.labels],
+            dtype=object,
+        )
+        with_clusters = table.with_column(
+            Column("cluster", ColumnKind.CATEGORICAL, cluster_values)
+        )
+
+        plan = {
+            name: classes
+            for name, classes in cfg.discretization_plan.items()
+            if name in table
+        }
+        discretized, discretizations = discretize_table(
+            with_clusters, plan, response=cfg.response
+        )
+        self.log.record(
+            "analytics", "discretization",
+            plan={k: v for k, v in plan.items()},
+        )
+
+        miner = RuleMiner(cfg.rule_constraints, cfg.rule_template)
+        rule_attributes = [n for n in plan if n != cfg.response] + [cfg.response]
+        rules = miner.mine(discretized, rule_attributes)
+        self.log.record("analytics", "rules", mined=len(rules))
+
+        outcome = AnalyticsOutcome(
+            table=with_clusters,
+            correlation=correlation,
+            clustering=clustering,
+            discretizations=discretizations,
+            rules=rules,
+        )
+        self._analyzed = outcome
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Tier 3: data and knowledge visualization
+    # ------------------------------------------------------------------
+
+    def build_dashboard(
+        self,
+        stakeholder: Stakeholder,
+        granularity: Granularity | None = None,
+        analytics: AnalyticsOutcome | None = None,
+    ) -> Dashboard:
+        """An informative dashboard for *stakeholder* at *granularity*.
+
+        All dashboards combine the energy maps with the distribution /
+        correlation / rules panels the stakeholder profile recommends.
+        """
+        cfg = self.config
+        analytics = analytics or self._require_analyzed()
+        profile = profile_for(stakeholder)
+        granularity = granularity or profile.default_granularity
+        table = analytics.table
+        hierarchy = self.collection.hierarchy
+
+        builder = DashboardBuilder(
+            f"INDICE — {cfg.city} energy overview "
+            f"({stakeholder.value.replace('_', ' ')})",
+            f"{table.n_rows} certificates of type {cfg.building_type}; "
+            f"{granularity.name.lower()} granularity",
+        )
+
+        lat, lon = table["latitude"], table["longitude"]
+        response = table[cfg.response]
+
+        if granularity in (Granularity.CITY, Granularity.DISTRICT, Granularity.NEIGHBOURHOOD):
+            level = granularity if granularity != Granularity.CITY else Granularity.DISTRICT
+            region_column = (
+                "district" if level is Granularity.DISTRICT else "neighbourhood"
+            )
+            means = table.aggregate(region_column, cfg.response, np.mean)
+            means.pop(None, None)
+            if granularity is Granularity.NEIGHBOURHOOD:
+                # Figure 2 (upper): area averages with per-certificate markers
+                builder.add_map(
+                    choropleth_with_scatter_map(
+                        hierarchy, level, means, lat, lon, response, cfg.response,
+                    ),
+                    caption="Area averages (choropleth) with the scatter marker "
+                            "of each single certificate on one shared scale.",
+                )
+            else:
+                builder.add_map(
+                    choropleth_map(hierarchy, level, means, cfg.response),
+                    caption="Each area is colored by its average value "
+                            "(choropleth energy map).",
+                )
+        builder.add_map(
+            cluster_marker_map(
+                lat, lon, response, cfg.response, granularity,
+                hierarchy=hierarchy,
+                cluster_labels=analytics.clustering.result.labels,
+            ),
+            caption="Marker size and inner label give the number of aggregated "
+                    "certificates; fill encodes the mean response; stroke the "
+                    "analytic cluster.",
+        )
+        if granularity in (Granularity.NEIGHBOURHOOD, Granularity.UNIT):
+            builder.add_map(
+                scatter_map(
+                    lat, lon, response, cfg.response,
+                    hierarchy=hierarchy, max_points=4000,
+                ),
+                caption="One point per certificate (housing-unit zoom).",
+            )
+
+        hists = grouped_histograms(table, cfg.response, by="cluster")
+        hists.pop(None, None)
+        builder.add_grouped_histogram(
+            hists, cfg.response,
+            caption="Response distribution inside each K-means cluster.",
+        )
+        builder.add_correlation_matrix(
+            analytics.correlation,
+            caption="Gray level encodes |Pearson rho|; a light matrix means the "
+                    "feature set is eligible for clustering.",
+        )
+        builder.add_rules_table(
+            RuleMiner.top_k(analytics.rules, 15, by="lift"),
+            caption="Top correlations as association rules "
+                    "(support / confidence / lift / conviction).",
+        )
+        builder.add_summary_table(
+            summarize_table(table, list(cfg.features) + [cfg.response]),
+            caption="Count, mean, standard deviation and quartiles of the "
+                    "selected attributes.",
+        )
+        if stakeholder is Stakeholder.ENERGY_SCIENTIST:
+            # the expert's whiskers plot of the response with its outliers
+            box = boxplot_outliers(response)
+            builder.dashboard.add(
+                Panel(
+                    f"Boxplot of {cfg.response}",
+                    "Whiskers plot with Tukey fences; red points are values "
+                    "the graphic method would filter.",
+                    boxplot_chart(box, response, cfg.response),
+                    kind="frequency_distribution",
+                )
+            )
+        if stakeholder is Stakeholder.PUBLIC_ADMINISTRATION and "certificate_year" in table:
+            timeline = temporal_summary(table, response=cfg.response)
+            builder.add_bar_chart(
+                [(str(s.year), s.n_certificates) for s in timeline.slices],
+                "certificate_year",
+                caption="Certificates issued per year in the selection "
+                        f"(mean {cfg.response} trend: "
+                        f"{timeline.response_trend():+.1f}/year).",
+            )
+
+        self.log.record(
+            "visualization", "dashboard",
+            stakeholder=stakeholder.value, granularity=granularity.name,
+            panels=len(builder.dashboard.panels),
+        )
+        return builder.build()
+
+    def mine_rules_by_group(
+        self,
+        by: str,
+        analytics: AnalyticsOutcome | None = None,
+        min_group_size: int = 100,
+    ) -> dict[str, list[AssociationRule]]:
+        """Rules mined separately per group ("Rules can be extracted at
+        different granularity levels, e.g., for each city, neighbourhood or
+        downstream of the clustering algorithm" — Section 2.3).
+
+        *by* is a categorical column of the analyzed table, typically
+        ``"district"``, ``"neighbourhood"`` or ``"cluster"``.  Groups
+        smaller than *min_group_size* are skipped (their supports would be
+        meaningless).
+        """
+        cfg = self.config
+        analytics = analytics or self._require_analyzed()
+        plan = {
+            name: classes
+            for name, classes in cfg.discretization_plan.items()
+            if name in analytics.table
+        }
+        miner = RuleMiner(cfg.rule_constraints, cfg.rule_template)
+        attributes = [n for n in plan if n != cfg.response] + [cfg.response]
+        out: dict[str, list[AssociationRule]] = {}
+        for key, group in analytics.table.group_by(by).items():
+            if key is None or group.n_rows < min_group_size:
+                continue
+            discretized, __ = discretize_table(group, plan, response=cfg.response)
+            out[str(key)] = miner.mine(discretized, attributes)
+            self.log.record(
+                "analytics", "rules_by_group",
+                group=str(key), rows=group.n_rows, mined=len(out[str(key)]),
+            )
+        return out
+
+    def build_navigable_dashboard(
+        self,
+        stakeholder: Stakeholder,
+        granularities: tuple[Granularity, ...] = (
+            Granularity.CITY,
+            Granularity.DISTRICT,
+            Granularity.NEIGHBOURHOOD,
+            Granularity.UNIT,
+        ),
+        analytics: AnalyticsOutcome | None = None,
+    ) -> NavigableDashboard:
+        """The paper's navigable dashboard: one tab per zoom level.
+
+        Each tab holds the full stakeholder dashboard rendered at that
+        granularity; switching tabs is the drill-down of Section 2.3.
+        """
+        analytics = analytics or self._require_analyzed()
+        nav = NavigableDashboard(
+            title=f"INDICE — {self.config.city} navigable energy maps "
+                  f"({stakeholder.value.replace('_', ' ')})",
+            subtitle="Switch tabs to change the analysis zoom "
+                     "(city → district → neighbourhood → housing unit).",
+        )
+        for granularity in granularities:
+            dash = self.build_dashboard(stakeholder, granularity, analytics)
+            nav.add_tab(granularity.name.title(), dash)
+        return nav
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        stakeholder: Stakeholder = Stakeholder.PUBLIC_ADMINISTRATION,
+        granularity: Granularity | None = None,
+    ) -> Dashboard:
+        """The full pipeline: preprocess -> select -> analyze -> dashboard."""
+        self.preprocess()
+        self.analyze()
+        return self.build_dashboard(stakeholder, granularity)
+
+    @staticmethod
+    def _scatter_cleaned(table: Table, cleaned_city: Table, city_rows: np.ndarray) -> Table:
+        """Write the cleaned city rows back into the full table (the
+        geospatial attributes only; everything else is untouched)."""
+        out = table
+        for name in ("address", "house_number", "zip_code", "latitude", "longitude"):
+            column = table.column(name)
+            values = column.values.copy()
+            values[city_rows] = cleaned_city[name]
+            out = out.with_column(Column(name, column.kind, values))
+        return out.select(table.column_names)
+
+    def _require_preprocessed(self) -> PreprocessingOutcome:
+        if self._preprocessed is None:
+            raise RuntimeError("call preprocess() first")
+        return self._preprocessed
+
+    def _require_analyzed(self) -> AnalyticsOutcome:
+        if self._analyzed is None:
+            raise RuntimeError("call analyze() first")
+        return self._analyzed

@@ -1,0 +1,62 @@
+"""Analysis sessions with a provenance log.
+
+Every INDICE run records what each tier did — rows in / rows out, methods
+and parameters applied, artifacts produced — so a dashboard can explain
+its own numbers and experiments can audit the pipeline.  The log is
+ordinal (step counter), not wall-clock, which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProvenanceStep", "ProvenanceLog"]
+
+
+@dataclass(frozen=True)
+class ProvenanceStep:
+    """One recorded pipeline step."""
+
+    index: int
+    stage: str  # "preprocessing" | "selection" | "analytics" | "visualization"
+    action: str
+    detail: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable multi-line description."""
+        rendered = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.index}] {self.stage}/{self.action}" + (
+            f" ({rendered})" if rendered else ""
+        )
+
+
+@dataclass
+class ProvenanceLog:
+    """Append-only record of an analysis session."""
+
+    steps: list[ProvenanceStep] = field(default_factory=list)
+
+    def record(self, stage: str, action: str, **detail) -> ProvenanceStep:
+        """Append one step to the log and return it."""
+        step = ProvenanceStep(len(self.steps), stage, action, detail)
+        self.steps.append(step)
+        return step
+
+    def stages(self) -> list[str]:
+        """Distinct stages in execution order."""
+        seen: list[str] = []
+        for step in self.steps:
+            if step.stage not in seen:
+                seen.append(step.stage)
+        return seen
+
+    def for_stage(self, stage: str) -> list[ProvenanceStep]:
+        """The steps recorded under *stage*, in order."""
+        return [s for s in self.steps if s.stage == stage]
+
+    def describe(self) -> str:
+        """Human-readable multi-line description."""
+        return "\n".join(s.describe() for s in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)

@@ -1,0 +1,75 @@
+"""INDICE knowledge-visualization tier: maps, charts, dashboards."""
+
+from .colors import (
+    CATEGORICAL_PALETTE,
+    ENERGY_RAMP,
+    GrayScale,
+    SequentialScale,
+    categorical_color,
+    hex_to_rgb,
+    interpolate_hex,
+    rgb_to_hex,
+)
+from .svg import SvgDocument
+from .markercluster import (
+    CELL_KM_BY_GRANULARITY,
+    ClusterMarker,
+    cluster_markers,
+    marker_radius,
+)
+from .maps import (
+    MapCanvas,
+    MapRender,
+    categorical_choropleth_map,
+    choropleth_map,
+    cluster_marker_map,
+    scatter_map,
+)
+from .charts import (
+    bar_chart,
+    boxplot_chart,
+    correlation_matrix_chart,
+    dendrogram_chart,
+    grouped_histogram_chart,
+    histogram_chart,
+    rules_table_html,
+    summary_table_html,
+)
+from .dashboard import Dashboard, DashboardBuilder, NavigableDashboard, Panel
+from .html import render_page, render_tabbed_page
+
+__all__ = [
+    "CATEGORICAL_PALETTE",
+    "ENERGY_RAMP",
+    "GrayScale",
+    "SequentialScale",
+    "categorical_color",
+    "hex_to_rgb",
+    "interpolate_hex",
+    "rgb_to_hex",
+    "SvgDocument",
+    "CELL_KM_BY_GRANULARITY",
+    "ClusterMarker",
+    "cluster_markers",
+    "marker_radius",
+    "MapCanvas",
+    "MapRender",
+    "categorical_choropleth_map",
+    "choropleth_map",
+    "cluster_marker_map",
+    "scatter_map",
+    "dendrogram_chart",
+    "bar_chart",
+    "boxplot_chart",
+    "correlation_matrix_chart",
+    "grouped_histogram_chart",
+    "histogram_chart",
+    "rules_table_html",
+    "summary_table_html",
+    "Dashboard",
+    "DashboardBuilder",
+    "NavigableDashboard",
+    "Panel",
+    "render_page",
+    "render_tabbed_page",
+]

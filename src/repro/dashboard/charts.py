@@ -1,0 +1,314 @@
+"""Informative charts: distributions, boxplots, the correlation matrix,
+and the tabular views (rules, summaries).
+
+These are the non-map components of the INDICE dashboards (paper,
+Section 2.3): frequency distribution plots (histograms / bar charts,
+optionally colored by a response variable or cluster), the gray-scale
+correlation plot matrix of Figure 3, the tabular top-k association-rule
+view, and the statistical summary panel.  Charts render to SVG; tables
+render to HTML fragments the dashboard assembler embeds.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from ..analytics.correlation import CorrelationMatrix
+from ..analytics.rules import AssociationRule
+from ..analytics.stats import CategoricalSummary, Histogram, NumericSummary
+from ..preprocessing.outliers import OutlierResult
+from .colors import GrayScale, categorical_color
+from .svg import SvgDocument
+
+__all__ = [
+    "histogram_chart",
+    "grouped_histogram_chart",
+    "bar_chart",
+    "boxplot_chart",
+    "correlation_matrix_chart",
+    "dendrogram_chart",
+    "rules_table_html",
+    "summary_table_html",
+]
+
+_MARGIN = 42
+_TICK = 10
+
+
+def _frame(doc: SvgDocument, x0, y0, x1, y1):
+    doc.line(x0, y1, x1, y1, stroke="#445", stroke_width=1.2)  # x axis
+    doc.line(x0, y0, x0, y1, stroke="#445", stroke_width=1.2)  # y axis
+
+
+def histogram_chart(
+    hist: Histogram, width: int = 440, height: int = 260,
+    color: str = "#4477aa", title: str | None = None,
+) -> str:
+    """A single frequency-distribution plot."""
+    doc = SvgDocument(width, height)
+    title = title or f"Distribution of {hist.attribute}"
+    doc.text(_MARGIN, 18, title, size=13, weight="bold")
+    x0, y0, x1, y1 = _MARGIN, 30, width - 14, height - _MARGIN
+    _frame(doc, x0, y0, x1, y1)
+    max_count = max(int(hist.counts.max()), 1) if len(hist.counts) else 1
+    n_bins = len(hist.counts)
+    if n_bins:
+        bar_w = (x1 - x0) / n_bins
+        for i, count in enumerate(hist.counts):
+            h = (y1 - y0) * count / max_count
+            doc.rect(
+                x0 + i * bar_w + 1, y1 - h, bar_w - 2, h,
+                fill=color, stroke="none", opacity=0.9,
+                title=f"[{hist.edges[i]:.3g}, {hist.edges[i + 1]:.3g}): {count}",
+            )
+        doc.text(x0, y1 + 16, f"{hist.edges[0]:.3g}", size=_TICK)
+        doc.text(x1, y1 + 16, f"{hist.edges[-1]:.3g}", size=_TICK, anchor="end")
+    doc.text(x0 - 4, y0 + 8, str(max_count), size=_TICK, anchor="end")
+    doc.text(x0 - 4, y1, "0", size=_TICK, anchor="end")
+    return doc.render()
+
+
+def grouped_histogram_chart(
+    histograms: dict[object, Histogram], attribute: str,
+    width: int = 520, height: int = 300,
+) -> str:
+    """Overlaid per-group distributions (Figure 4's per-cluster EP_H view).
+
+    All histograms must share bin edges (see
+    :func:`repro.analytics.stats.grouped_histograms`); each group renders
+    as a translucent stepped area in its categorical color.
+    """
+    doc = SvgDocument(width, height)
+    doc.text(_MARGIN, 18, f"Distribution of {attribute} per group", size=13, weight="bold")
+    x0, y0, x1, y1 = _MARGIN, 30, width - 130, height - _MARGIN
+    _frame(doc, x0, y0, x1, y1)
+    keys = sorted(histograms, key=str)
+    if not keys:
+        return doc.render()
+    edges = histograms[keys[0]].edges
+    max_density = max(
+        (h.densities().max() if len(h.counts) else 0.0) for h in histograms.values()
+    ) or 1.0
+    n_bins = len(edges) - 1
+    bar_w = (x1 - x0) / max(n_bins, 1)
+    for gi, key in enumerate(keys):
+        hist = histograms[key]
+        color = categorical_color(gi)
+        densities = hist.densities()
+        points = [(x0, y1)]
+        for i, d in enumerate(densities):
+            h = (y1 - y0) * d / max_density
+            points.append((x0 + i * bar_w, y1 - h))
+            points.append((x0 + (i + 1) * bar_w, y1 - h))
+        points.append((x1, y1))
+        doc.polygon(points, fill=color, stroke=color, stroke_width=1.2,
+                    opacity=0.30, title=f"group {key}: n = {hist.n}")
+        # legend entry
+        ly = y0 + 14 + gi * 18
+        doc.rect(x1 + 12, ly - 9, 12, 12, fill=color, stroke="none")
+        doc.text(x1 + 30, ly, f"{key} (n={hist.n})", size=11)
+    doc.text(x0, y1 + 16, f"{edges[0]:.3g}", size=_TICK)
+    doc.text(x1, y1 + 16, f"{edges[-1]:.3g}", size=_TICK, anchor="end")
+    return doc.render()
+
+
+def bar_chart(
+    counts: list[tuple[str, int]], attribute: str,
+    width: int = 440, height: int = 260, color: str = "#4477aa",
+) -> str:
+    """Categorical frequency bar chart (e.g. energy-class distribution)."""
+    doc = SvgDocument(width, height)
+    doc.text(_MARGIN, 18, f"Frequency of {attribute}", size=13, weight="bold")
+    x0, y0, x1, y1 = _MARGIN, 30, width - 14, height - _MARGIN
+    _frame(doc, x0, y0, x1, y1)
+    if counts:
+        max_count = max(c for __, c in counts) or 1
+        bar_w = (x1 - x0) / len(counts)
+        for i, (label, count) in enumerate(counts):
+            h = (y1 - y0) * count / max_count
+            doc.rect(x0 + i * bar_w + 2, y1 - h, bar_w - 4, h, fill=color,
+                     stroke="none", opacity=0.9, title=f"{label}: {count}")
+            doc.text(x0 + (i + 0.5) * bar_w, y1 + 14, str(label)[:8], size=9,
+                     anchor="middle")
+    return doc.render()
+
+
+def boxplot_chart(
+    result: OutlierResult, values: np.ndarray, attribute: str,
+    width: int = 440, height: int = 170,
+) -> str:
+    """The whiskers plot of one attribute with its outliers marked.
+
+    Draws the box (Q1..Q3), the median, the Tukey fences and each flagged
+    outlier as a red point — the "graphic boxplot method" the analyst uses
+    to filter values manually (paper, Section 2.1.2).
+    """
+    d = result.diagnostics
+    doc = SvgDocument(width, height)
+    doc.text(_MARGIN, 18, f"Boxplot of {attribute}", size=13, weight="bold")
+    values = np.asarray(values, dtype=np.float64)
+    present = values[~np.isnan(values)]
+    if len(present) == 0 or "q1" not in d:
+        return doc.render()
+    lo = float(min(present.min(), d["lower_fence"]))
+    hi = float(max(present.max(), d["upper_fence"]))
+    span = hi - lo or 1.0
+    x0, x1 = _MARGIN, width - 20
+    y_mid, box_h = 88, 40
+
+    def x_of(v: float) -> float:
+        return x0 + (v - lo) / span * (x1 - x0)
+
+    # whiskers (clipped to data range), box, median
+    left_whisk = max(d["lower_fence"], float(present.min()))
+    right_whisk = min(d["upper_fence"], float(present.max()))
+    doc.line(x_of(left_whisk), y_mid, x_of(d["q1"]), y_mid, stroke="#445")
+    doc.line(x_of(d["q3"]), y_mid, x_of(right_whisk), y_mid, stroke="#445")
+    doc.line(x_of(left_whisk), y_mid - 10, x_of(left_whisk), y_mid + 10, stroke="#445")
+    doc.line(x_of(right_whisk), y_mid - 10, x_of(right_whisk), y_mid + 10, stroke="#445")
+    doc.rect(x_of(d["q1"]), y_mid - box_h / 2, x_of(d["q3"]) - x_of(d["q1"]), box_h,
+             fill="#a8c6e8", stroke="#445",
+             title=f"Q1={d['q1']:.3g}  median={d['median']:.3g}  Q3={d['q3']:.3g}")
+    doc.line(x_of(d["median"]), y_mid - box_h / 2, x_of(d["median"]), y_mid + box_h / 2,
+             stroke="#1c2733", stroke_width=2.0)
+    for i in result.outlier_indices():
+        doc.circle(x_of(float(values[i])), y_mid, 3.2, fill="#d73027", stroke="none",
+                   opacity=0.8, title=f"outlier: {values[i]:.4g}")
+    doc.text(x0, y_mid + box_h / 2 + 24, f"{lo:.3g}", size=_TICK)
+    doc.text(x1, y_mid + box_h / 2 + 24, f"{hi:.3g}", size=_TICK, anchor="end")
+    return doc.render()
+
+
+def correlation_matrix_chart(
+    matrix: CorrelationMatrix, width: int = 460, cell_px: int | None = None,
+) -> str:
+    """Figure 3: the gray-scale correlation plot matrix.
+
+    Dark squares = high |rho|, light = low; the diagonal is black by
+    construction.  Each cell's tooltip carries the exact coefficient.
+    """
+    names = matrix.attributes
+    n = len(names)
+    label_w = 120
+    cell = cell_px or max(28, (width - label_w - 20) // max(n, 1))
+    w = label_w + n * cell + 20
+    h = 40 + n * cell + 70
+    doc = SvgDocument(w, h)
+    doc.text(14, 22, "Correlation matrix (Pearson)", size=13, weight="bold")
+    gray = GrayScale()
+    x0, y0 = label_w, 40
+    for i in range(n):
+        doc.text(x0 - 8, y0 + i * cell + cell / 2 + 4, names[i][:16], size=10, anchor="end")
+        doc.text(x0 + i * cell + cell / 2, y0 + n * cell + 14, names[i][:8], size=9,
+                 anchor="middle")
+        for j in range(n):
+            rho = float(matrix.matrix[i, j])
+            tooltip = f"rho({names[i]}, {names[j]}) = " + (
+                "n/a" if np.isnan(rho) else f"{rho:.3f}"
+            )
+            doc.rect(x0 + j * cell, y0 + i * cell, cell - 1, cell - 1,
+                     fill=gray.color(rho), stroke="#d8dde3", stroke_width=0.5,
+                     title=tooltip)
+    # gray legend
+    ly = y0 + n * cell + 34
+    for i in range(20):
+        doc.rect(x0 + i * 8, ly, 8, 10, fill=gray.color(i / 19), stroke="none")
+    doc.text(x0, ly + 24, "|rho| = 0", size=9)
+    doc.text(x0 + 160, ly + 24, "|rho| = 1", size=9, anchor="end")
+    return doc.render()
+
+
+def dendrogram_chart(
+    heights: list[float], suggested_k: int | None = None,
+    width: int = 440, height: int = 240, max_merges: int = 30,
+) -> str:
+    """The tail of a dendrogram's merge-height curve.
+
+    Hierarchical clustering communicates its structure through the growth
+    of merge heights: a sharp jump marks the natural cluster count.  This
+    chart plots the last *max_merges* heights as bars (left = coarser
+    cuts) and marks the suggested K, giving the analyst the hierarchical
+    counterpart of the SSE elbow plot.
+    """
+    doc = SvgDocument(width, height)
+    doc.text(_MARGIN, 18, "Dendrogram merge heights (tail)", size=13, weight="bold")
+    x0, y0, x1, y1 = _MARGIN, 30, width - 14, height - _MARGIN
+    _frame(doc, x0, y0, x1, y1)
+    tail = list(heights)[-max_merges:]
+    if not tail:
+        return doc.render()
+    top = max(tail) or 1.0
+    bar_w = (x1 - x0) / len(tail)
+    for i, h in enumerate(tail):
+        px = (y1 - y0) * h / top
+        # cutting just before merge i leaves (len(tail) - i) clusters
+        k_here = len(tail) - i
+        is_suggested = suggested_k is not None and k_here == suggested_k
+        doc.rect(
+            x0 + i * bar_w + 1, y1 - px, bar_w - 2, px,
+            fill="#d73027" if is_suggested else "#4477aa", stroke="none",
+            opacity=0.9, title=f"cut at K={k_here}: merge height {h:.3g}",
+        )
+    doc.text(x0, y1 + 16, f"K={len(tail)}", size=_TICK)
+    doc.text(x1, y1 + 16, "K=1", size=_TICK, anchor="end")
+    if suggested_k is not None:
+        doc.text(x1, y0 + 10, f"suggested K = {suggested_k}", size=11,
+                 anchor="end", fill="#d73027", weight="bold")
+    return doc.render()
+
+
+def rules_table_html(rules: list[AssociationRule], max_rows: int = 20) -> str:
+    """The paper's tabular association-rule view (top rules, 4 indices)."""
+    head = (
+        "<table class='indice-table'><thead><tr>"
+        "<th>#</th><th>Rule</th><th>Support</th><th>Confidence</th>"
+        "<th>Lift</th><th>Conviction</th></tr></thead><tbody>"
+    )
+    body = []
+    for i, rule in enumerate(rules[:max_rows], start=1):
+        conviction = "&infin;" if np.isinf(rule.conviction) else f"{rule.conviction:.2f}"
+        body.append(
+            f"<tr><td>{i}</td><td>{escape(str(rule))}</td>"
+            f"<td>{rule.support:.3f}</td><td>{rule.confidence:.3f}</td>"
+            f"<td>{rule.lift:.2f}</td><td>{conviction}</td></tr>"
+        )
+    return head + "".join(body) + "</tbody></table>"
+
+
+def summary_table_html(
+    summaries: dict[str, NumericSummary | CategoricalSummary]
+) -> str:
+    """The statistical-indices panel: numeric and categorical summaries."""
+    numeric_rows = []
+    categorical_rows = []
+    for name, s in summaries.items():
+        if isinstance(s, NumericSummary):
+            numeric_rows.append(
+                f"<tr><td>{escape(name)}</td><td>{s.count}</td>"
+                f"<td>{s.mean:.3g}</td><td>{s.std:.3g}</td>"
+                f"<td>{s.q1:.3g}</td><td>{s.median:.3g}</td><td>{s.q3:.3g}</td></tr>"
+            )
+        else:
+            top = ", ".join(f"{escape(str(v))} ({c})" for v, c in s.top_values)
+            categorical_rows.append(
+                f"<tr><td>{escape(name)}</td><td>{s.count}</td>"
+                f"<td>{escape(str(s.mode))}</td><td>{s.mode_frequency}</td>"
+                f"<td>{top}</td></tr>"
+            )
+    parts = []
+    if numeric_rows:
+        parts.append(
+            "<table class='indice-table'><thead><tr><th>Attribute</th>"
+            "<th>Count</th><th>Mean</th><th>Std</th><th>Q1</th>"
+            "<th>Median</th><th>Q3</th></tr></thead><tbody>"
+            + "".join(numeric_rows) + "</tbody></table>"
+        )
+    if categorical_rows:
+        parts.append(
+            "<table class='indice-table'><thead><tr><th>Attribute</th>"
+            "<th>Count</th><th>Mode</th><th>Mode freq.</th><th>Top values</th>"
+            "</tr></thead><tbody>" + "".join(categorical_rows) + "</tbody></table>"
+        )
+    return "\n".join(parts)

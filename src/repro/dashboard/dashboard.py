@@ -1,0 +1,202 @@
+"""Informative dashboard assembly.
+
+"INDICE includes interactive and navigable dashboards tailored to
+different use cases ... the dashboards can be customized for each
+end-user, providing deep targeted knowledge for domain experts and
+human-readable informative contents for non-expert users" (paper,
+Section 2.3).
+
+A :class:`Dashboard` is an ordered collection of :class:`Panel` objects
+(each holding a rendered map, chart or table) that serializes to one
+standalone HTML page.  :class:`DashboardBuilder` provides the typed
+``add_*`` helpers the core engine and the examples use, so the panel
+vocabulary stays exactly the paper's: geospatial maps, frequency
+distribution plots, association rules and correlation matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analytics.correlation import CorrelationMatrix
+from ..analytics.rules import AssociationRule
+from ..analytics.stats import CategoricalSummary, Histogram, NumericSummary
+from .charts import (
+    bar_chart,
+    correlation_matrix_chart,
+    grouped_histogram_chart,
+    histogram_chart,
+    rules_table_html,
+    summary_table_html,
+)
+from .html import render_page, render_tabbed_page
+from .maps import MapRender
+
+__all__ = ["Panel", "Dashboard", "DashboardBuilder", "NavigableDashboard"]
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One dashboard tile: a title, a caption and a rendered body."""
+
+    title: str
+    caption: str
+    body: str
+    kind: str = "generic"
+
+
+@dataclass
+class Dashboard:
+    """A complete dashboard ready to serialize."""
+
+    title: str
+    subtitle: str = ""
+    panels: list[Panel] = field(default_factory=list)
+
+    def add(self, panel: Panel) -> "Dashboard":
+        """Append *panel* and return the dashboard (chainable)."""
+        self.panels.append(panel)
+        return self
+
+    def panel_titles(self) -> list[str]:
+        """Titles of the panels, in display order."""
+        return [p.title for p in self.panels]
+
+    def panels_of_kind(self, kind: str) -> list[Panel]:
+        """The panels whose kind equals *kind*."""
+        return [p for p in self.panels if p.kind == kind]
+
+    def to_html(self) -> str:
+        """Render the complete standalone HTML page."""
+        return render_page(
+            self.title,
+            self.subtitle,
+            [(p.title, p.caption, p.body) for p in self.panels],
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the HTML page to *path* (parents created) and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_html(), encoding="utf-8")
+        return path
+
+
+@dataclass
+class NavigableDashboard:
+    """A multi-zoom dashboard: one tab per spatial granularity.
+
+    This is the paper's "dynamic and navigable" surface: the user switches
+    the analysis zoom and the maps re-aggregate accordingly (Section 2.3's
+    drill-down), all inside one standalone HTML file.
+    """
+
+    title: str
+    subtitle: str = ""
+    tabs: list[tuple[str, Dashboard]] = field(default_factory=list)
+
+    def add_tab(self, label: str, dashboard: Dashboard) -> "NavigableDashboard":
+        """Append a (label, dashboard) tab and return self (chainable)."""
+        self.tabs.append((label, dashboard))
+        return self
+
+    def tab_labels(self) -> list[str]:
+        """The tab labels, in display order."""
+        return [label for label, __ in self.tabs]
+
+    def to_html(self) -> str:
+        """Render the complete standalone HTML page."""
+        return render_tabbed_page(
+            self.title,
+            self.subtitle,
+            [
+                (label, [(p.title, p.caption, p.body) for p in dash.panels])
+                for label, dash in self.tabs
+            ],
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the HTML page to *path* (parents created) and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_html(), encoding="utf-8")
+        return path
+
+
+class DashboardBuilder:
+    """Typed helpers that add the paper's panel kinds to a dashboard."""
+
+    def __init__(self, title: str, subtitle: str = ""):
+        self.dashboard = Dashboard(title=title, subtitle=subtitle)
+
+    def add_map(self, render: MapRender, caption: str = "") -> "DashboardBuilder":
+        """Add a rendered energy-map panel."""
+        self.dashboard.add(Panel(render.title, caption, render.svg, kind="map"))
+        return self
+
+    def add_histogram(
+        self, hist: Histogram, caption: str = "", title: str | None = None
+    ) -> "DashboardBuilder":
+        """Add a single frequency-distribution panel."""
+        body = histogram_chart(hist, title=title)
+        self.dashboard.add(
+            Panel(title or f"Distribution of {hist.attribute}", caption, body,
+                  kind="frequency_distribution")
+        )
+        return self
+
+    def add_grouped_histogram(
+        self, histograms: dict[object, Histogram], attribute: str, caption: str = ""
+    ) -> "DashboardBuilder":
+        """Add an overlaid per-group distribution panel."""
+        body = grouped_histogram_chart(histograms, attribute)
+        self.dashboard.add(
+            Panel(f"{attribute} by group", caption, body, kind="frequency_distribution")
+        )
+        return self
+
+    def add_bar_chart(
+        self, counts: list[tuple[str, int]], attribute: str, caption: str = ""
+    ) -> "DashboardBuilder":
+        """Add a categorical frequency bar-chart panel."""
+        self.dashboard.add(
+            Panel(f"Frequency of {attribute}", caption, bar_chart(counts, attribute),
+                  kind="frequency_distribution")
+        )
+        return self
+
+    def add_correlation_matrix(
+        self, matrix: CorrelationMatrix, caption: str = ""
+    ) -> "DashboardBuilder":
+        """Add the gray-scale correlation-matrix panel."""
+        self.dashboard.add(
+            Panel("Correlation matrix", caption, correlation_matrix_chart(matrix),
+                  kind="correlation_matrix")
+        )
+        return self
+
+    def add_rules_table(
+        self, rules: list[AssociationRule], caption: str = "", max_rows: int = 20
+    ) -> "DashboardBuilder":
+        """Add the tabular association-rules panel."""
+        self.dashboard.add(
+            Panel("Association rules", caption, rules_table_html(rules, max_rows),
+                  kind="rules_table")
+        )
+        return self
+
+    def add_summary_table(
+        self, summaries: dict[str, NumericSummary | CategoricalSummary],
+        caption: str = "",
+    ) -> "DashboardBuilder":
+        """Add the statistical-summary panel."""
+        self.dashboard.add(
+            Panel("Statistical summary", caption, summary_table_html(summaries),
+                  kind="summary_table")
+        )
+        return self
+
+    def build(self) -> Dashboard:
+        """The assembled :class:`Dashboard`."""
+        return self.dashboard

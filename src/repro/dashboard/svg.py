@@ -1,0 +1,148 @@
+"""A minimal SVG document builder.
+
+All INDICE visualizations render to standalone SVG (folium/Leaflet are
+substituted dependencies, see DESIGN.md): maps, charts and matrices are
+vector documents a browser opens directly and dashboards embed inline.
+Only the elements the framework draws are implemented; every element
+supports a ``<title>`` child, which browsers show as a hover tooltip —
+that is how "the users can ... check the attribute values for each
+certificate by clicking on the markers" degrades gracefully without
+JavaScript.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+__all__ = ["SvgDocument"]
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting for attribute values."""
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+class SvgDocument:
+    """An append-only SVG document with a fixed pixel viewport."""
+
+    def __init__(self, width: int, height: int, background: str | None = "#ffffff"):
+        if width <= 0 or height <= 0:
+            raise ValueError("viewport must be positive")
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # -- primitives ------------------------------------------------------
+
+    def _element(self, tag: str, attrs: dict, title: str | None = None, text: str | None = None) -> None:
+        rendered = " ".join(
+            f'{k.replace("_", "-")}="{escape(str(v))}"' for k, v in attrs.items() if v is not None
+        )
+        if title is None and text is None:
+            self._parts.append(f"<{tag} {rendered}/>")
+            return
+        inner = ""
+        if title is not None:
+            inner += f"<title>{escape(title)}</title>"
+        if text is not None:
+            inner += escape(text)
+        self._parts.append(f"<{tag} {rendered}>{inner}</{tag}>")
+
+    def rect(
+        self, x: float, y: float, w: float, h: float,
+        fill: str = "#000000", stroke: str | None = "#333333",
+        stroke_width: float = 0.5, opacity: float = 1.0, title: str | None = None,
+    ) -> None:
+        """Append a rectangle."""
+        self._element(
+            "rect",
+            {
+                "x": _fmt(x), "y": _fmt(y), "width": _fmt(w), "height": _fmt(h),
+                "fill": fill, "stroke": stroke, "stroke_width": stroke_width,
+                "opacity": opacity if opacity < 1.0 else None,
+            },
+            title,
+        )
+
+    def circle(
+        self, cx: float, cy: float, r: float,
+        fill: str = "#000000", stroke: str | None = "#333333",
+        stroke_width: float = 0.5, opacity: float = 1.0, title: str | None = None,
+    ) -> None:
+        """Append a circle."""
+        self._element(
+            "circle",
+            {
+                "cx": _fmt(cx), "cy": _fmt(cy), "r": _fmt(r),
+                "fill": fill, "stroke": stroke, "stroke_width": stroke_width,
+                "opacity": opacity if opacity < 1.0 else None,
+            },
+            title,
+        )
+
+    def polygon(
+        self, points: list[tuple[float, float]],
+        fill: str = "#000000", stroke: str | None = "#333333",
+        stroke_width: float = 0.8, opacity: float = 1.0, title: str | None = None,
+    ) -> None:
+        """Append a polygon from (x, y) vertex pairs."""
+        rendered = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._element(
+            "polygon",
+            {
+                "points": rendered, "fill": fill, "stroke": stroke,
+                "stroke_width": stroke_width,
+                "opacity": opacity if opacity < 1.0 else None,
+            },
+            title,
+        )
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float,
+        stroke: str = "#333333", stroke_width: float = 1.0, dash: str | None = None,
+    ) -> None:
+        """Append a line segment."""
+        self._element(
+            "line",
+            {
+                "x1": _fmt(x1), "y1": _fmt(y1), "x2": _fmt(x2), "y2": _fmt(y2),
+                "stroke": stroke, "stroke_width": stroke_width,
+                "stroke_dasharray": dash,
+            },
+        )
+
+    def text(
+        self, x: float, y: float, content: str,
+        size: int = 12, fill: str = "#222222", anchor: str = "start",
+        weight: str | None = None, title: str | None = None,
+    ) -> None:
+        """Append a text element (sans-serif)."""
+        self._element(
+            "text",
+            {
+                "x": _fmt(x), "y": _fmt(y), "font_size": size, "fill": fill,
+                "text_anchor": anchor, "font_weight": weight,
+                "font_family": "sans-serif",
+            },
+            title,
+            content,
+        )
+
+    # -- output ------------------------------------------------------------
+
+    def render(self) -> str:
+        """The complete SVG document as a string."""
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n{body}\n</svg>'
+        )
+
+    def save(self, path) -> None:
+        """Write the document to *path*."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())

@@ -1,0 +1,63 @@
+"""Data substrate: columnar tables, the EPC schema, synthetic collections.
+
+The paper analyzed the Piedmont EPC open dataset; offline, this package
+generates an equivalent synthetic collection (see DESIGN.md, Substitutions)
+and provides the columnar :class:`Table` the rest of INDICE runs on.
+"""
+
+from .table import Column, ColumnKind, Table, TableError
+from .schema import (
+    AttributeSpec,
+    EpcSchema,
+    epc_schema,
+    PAPER_CLUSTERING_FEATURES,
+    PAPER_RESPONSE,
+    GEO_ATTRIBUTES,
+    ENERGY_CLASSES,
+    BUILDING_TYPES,
+)
+from .streetmap import AddressRecord, StreetMap, generate_street_map, turin_like_hierarchy
+from .synthetic import (
+    EpcCollection,
+    EraRegime,
+    ERA_REGIMES,
+    SyntheticConfig,
+    generate_epc_collection,
+)
+from .noise import NoiseConfig, NoiseEvent, NoiseResult, apply_noise
+from .io import read_csv, write_csv
+from .epc import EpcRecord, ValidationIssue, records, validate_table
+
+__all__ = [
+    "Column",
+    "ColumnKind",
+    "Table",
+    "TableError",
+    "AttributeSpec",
+    "EpcSchema",
+    "epc_schema",
+    "PAPER_CLUSTERING_FEATURES",
+    "PAPER_RESPONSE",
+    "GEO_ATTRIBUTES",
+    "ENERGY_CLASSES",
+    "BUILDING_TYPES",
+    "AddressRecord",
+    "StreetMap",
+    "generate_street_map",
+    "turin_like_hierarchy",
+    "EpcCollection",
+    "EraRegime",
+    "ERA_REGIMES",
+    "SyntheticConfig",
+    "generate_epc_collection",
+    "NoiseConfig",
+    "NoiseEvent",
+    "NoiseResult",
+    "apply_noise",
+    "read_csv",
+    "write_csv",
+    "EpcRecord",
+    "ValidationIssue",
+    "records",
+    "validate_table",
+]

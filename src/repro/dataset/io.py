@@ -1,0 +1,103 @@
+"""CSV input/output for :class:`~repro.dataset.table.Table`.
+
+EPC collections are distributed as CSV open data, so the framework can
+round-trip a table to disk.  The writer emits a standard RFC-4180 CSV; the
+reader either takes explicit column kinds (e.g. from the EPC schema) or
+infers them: a column whose non-empty values all parse as floats is numeric,
+anything else is categorical (use ``text_columns`` to force free-text kind).
+
+Missing values are written as empty fields and read back as missing.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .table import Column, ColumnKind, Table
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write *table* to *path* with a header row.
+
+    Numeric missing (NaN) and categorical missing (None) both become empty
+    fields.  Floats that are whole numbers are written without a trailing
+    ``.0`` only when the column holds integers exclusively, keeping output
+    stable for identifier-like columns.
+    """
+    path = Path(path)
+    names = table.column_names
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        columns = [table.column(n) for n in names]
+        rendered: list[list[str]] = []
+        for col in columns:
+            if col.kind is ColumnKind.NUMERIC:
+                values = col.values
+                present = values[~np.isnan(values)]
+                integral = len(present) > 0 and np.all(present == np.floor(present))
+                cells = [
+                    "" if np.isnan(v) else (str(int(v)) if integral else repr(float(v)))
+                    for v in values
+                ]
+            else:
+                cells = ["" if v is None else str(v) for v in col.values]
+            rendered.append(cells)
+        for row in zip(*rendered):
+            writer.writerow(row)
+
+
+def _infer_kind(values: list[str]) -> ColumnKind:
+    """NUMERIC when every non-empty cell parses as a float, else CATEGORICAL."""
+    saw_value = False
+    for v in values:
+        if v == "":
+            continue
+        saw_value = True
+        try:
+            float(v)
+        except ValueError:
+            return ColumnKind.CATEGORICAL
+    return ColumnKind.NUMERIC if saw_value else ColumnKind.CATEGORICAL
+
+
+def read_csv(
+    path: str | Path,
+    kinds: dict[str, ColumnKind] | None = None,
+    text_columns: tuple[str, ...] = (),
+) -> Table:
+    """Read a CSV written by :func:`write_csv` (or any headered CSV).
+
+    ``kinds`` overrides inference per column; ``text_columns`` forces the
+    TEXT kind for the named columns (inference cannot distinguish free text
+    from categorical).
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return Table.empty()
+        raw_rows = list(reader)
+
+    columns: list[Column] = []
+    for j, name in enumerate(header):
+        cells = [row[j] if j < len(row) else "" for row in raw_rows]
+        if kinds and name in kinds:
+            kind = kinds[name]
+        elif name in text_columns:
+            kind = ColumnKind.TEXT
+        else:
+            kind = _infer_kind(cells)
+        if kind is ColumnKind.NUMERIC:
+            values = [None if c == "" else float(c) for c in cells]
+        else:
+            values = [None if c == "" else c for c in cells]
+        columns.append(Column.from_kind(name, kind, values))
+    return Table(columns)

@@ -1,0 +1,335 @@
+"""The Energy Performance Certificate attribute schema.
+
+The Piedmont EPC open dataset analyzed in the paper has **132 attributes per
+certificate: 89 categorical and 43 quantitative** (paper, Section 3).  This
+module declares an equivalent schema: every attribute the paper names is
+present under a stable identifier, and the remaining attributes model the
+administrative, envelope, plant and compliance fields that real Italian EPCs
+(APE — *Attestato di Prestazione Energetica*) carry.
+
+The named paper attributes and their schema identifiers:
+
+===========================================  =====================
+Paper name                                   Schema name
+===========================================  =====================
+Aspect Ratio (S/V)                           ``aspect_ratio``
+Average U-value of vertical opaque envelope  ``u_value_opaque``
+Average U-value of the windows               ``u_value_windows``
+Heat surface (S_r)                           ``heated_surface``
+Average global efficiency for space heating  ``eta_h``
+Normalized primary heating energy (EP_H)     ``eph``
+===========================================  =====================
+
+Use :func:`epc_schema` to obtain the full schema and
+:data:`PAPER_CLUSTERING_FEATURES` / :data:`PAPER_RESPONSE` for the case-study
+feature set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .table import ColumnKind
+
+__all__ = [
+    "AttributeSpec",
+    "EpcSchema",
+    "epc_schema",
+    "PAPER_CLUSTERING_FEATURES",
+    "PAPER_RESPONSE",
+    "GEO_ATTRIBUTES",
+    "ENERGY_CLASSES",
+    "BUILDING_TYPES",
+]
+
+#: The five thermo-physical features the case study clusters on (Section 3.1).
+PAPER_CLUSTERING_FEATURES = (
+    "aspect_ratio",
+    "u_value_opaque",
+    "u_value_windows",
+    "heated_surface",
+    "eta_h",
+)
+
+#: The response variable used for discretization and cluster coloring.
+PAPER_RESPONSE = "eph"
+
+#: Attributes involved in geospatial cleaning (Section 2.1.1).
+GEO_ATTRIBUTES = ("address", "house_number", "zip_code", "latitude", "longitude")
+
+#: Italian EPC energy classes (best to worst).
+ENERGY_CLASSES = ("A4", "A3", "A2", "A1", "B", "C", "D", "E", "F", "G")
+
+#: Italian cadastral building-use codes (DPR 412/93); E.1.1 = permanent residence.
+BUILDING_TYPES = ("E.1.1", "E.1.2", "E.1.3", "E.2", "E.3", "E.4", "E.5", "E.6", "E.7", "E.8")
+
+_YES_NO = ("yes", "no")
+_QUALITY = ("good", "fair", "poor")
+_PRESENT_ABSENT = ("present", "absent")
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Metadata for a single EPC attribute.
+
+    ``lo``/``hi`` bound plausible values for numeric attributes (used by the
+    synthetic generator and by validation); ``categories`` is the closed
+    vocabulary for categorical attributes.
+    """
+
+    name: str
+    kind: ColumnKind
+    description: str
+    unit: str = ""
+    lo: float | None = None
+    hi: float | None = None
+    categories: tuple[str, ...] = field(default_factory=tuple)
+
+    def validate_value(self, value) -> bool:
+        """True when *value* is missing or plausible for this attribute."""
+        if value is None:
+            return True
+        if self.kind is ColumnKind.NUMERIC:
+            try:
+                v = float(value)
+            except (TypeError, ValueError):
+                return False
+            if v != v:  # NaN counts as missing
+                return True
+            if self.lo is not None and v < self.lo:
+                return False
+            if self.hi is not None and v > self.hi:
+                return False
+            return True
+        if self.kind is ColumnKind.CATEGORICAL and self.categories:
+            return str(value) in self.categories
+        return isinstance(value, str)
+
+
+def _num(name: str, description: str, unit: str, lo: float, hi: float) -> AttributeSpec:
+    return AttributeSpec(name, ColumnKind.NUMERIC, description, unit, lo, hi)
+
+
+def _cat(name: str, description: str, categories: tuple[str, ...]) -> AttributeSpec:
+    return AttributeSpec(name, ColumnKind.CATEGORICAL, description, categories=categories)
+
+
+def _txt(name: str, description: str) -> AttributeSpec:
+    return AttributeSpec(name, ColumnKind.TEXT, description)
+
+
+def _quantitative_attributes() -> list[AttributeSpec]:
+    """The 43 quantitative attributes."""
+    return [
+        # -- paper-named thermo-physical features --
+        _num("aspect_ratio", "Aspect ratio S/V of the building", "1/m", 0.1, 1.5),
+        _num("u_value_opaque", "Average U-value of the vertical opaque envelope", "W/m2K", 0.1, 2.5),
+        _num("u_value_windows", "Average U-value of the windows", "W/m2K", 0.8, 6.5),
+        _num("heated_surface", "Heated (useful) floor area S_r", "m2", 15.0, 2500.0),
+        _num("eta_h", "Average global efficiency for space heating (ETAH)", "", 0.1, 1.1),
+        _num("eph", "Normalized primary energy demand for heating (EP_H)", "kWh/m2y", 5.0, 700.0),
+        # -- geolocation --
+        _num("latitude", "WGS84 latitude of the housing unit", "deg", 35.0, 48.5),
+        _num("longitude", "WGS84 longitude of the housing unit", "deg", 5.0, 20.0),
+        # -- geometry --
+        _num("heated_volume", "Gross heated volume", "m3", 40.0, 12000.0),
+        _num("dispersing_surface", "Total dispersing surface", "m2", 8.0, 9000.0),
+        _num("opaque_surface", "Vertical opaque envelope surface", "m2", 3.0, 6000.0),
+        _num("glazed_surface", "Glazed (window) surface", "m2", 0.2, 900.0),
+        _num("window_to_wall_ratio", "Glazed over opaque vertical surface", "", 0.01, 0.9),
+        _num("net_floor_area", "Net walkable floor area", "m2", 12.0, 2300.0),
+        _num("average_height", "Average internal ceiling height", "m", 2.2, 5.0),
+        _num("floors", "Number of floors of the unit", "", 1, 4),
+        _num("building_floors", "Number of floors of the whole building", "", 1, 12),
+        _num("apartment_units", "Number of housing units in the building", "", 1, 120),
+        # -- envelope physics --
+        _num("roof_u_value", "Average U-value of the roof", "W/m2K", 0.1, 3.0),
+        _num("floor_u_value", "Average U-value of the lower floor slab", "W/m2K", 0.1, 3.0),
+        _num("wall_thickness", "Average external wall thickness", "cm", 15.0, 80.0),
+        _num("thermal_capacity", "Areal thermal capacity of the envelope", "kJ/m2K", 50.0, 500.0),
+        _num("solar_factor_windows", "Solar factor g of the glazing", "", 0.2, 0.9),
+        # -- plant efficiencies --
+        _num("eta_generation", "Generation subsystem efficiency", "", 0.3, 1.2),
+        _num("eta_distribution", "Distribution subsystem efficiency", "", 0.5, 1.0),
+        _num("eta_emission", "Emission subsystem efficiency", "", 0.5, 1.0),
+        _num("eta_control", "Control subsystem efficiency", "", 0.5, 1.0),
+        _num("heating_power", "Nominal heating generator power", "kW", 3.0, 600.0),
+        _num("dhw_power", "Domestic hot water generator power", "kW", 0.0, 120.0),
+        # -- energy indicators --
+        _num("ep_w", "Primary energy demand for hot water", "kWh/m2y", 2.0, 90.0),
+        _num("ep_c", "Primary energy demand for cooling", "kWh/m2y", 0.0, 80.0),
+        _num("ep_gl", "Global primary energy demand EP_gl", "kWh/m2y", 10.0, 800.0),
+        _num("co2_emissions", "CO2 emissions per unit area", "kgCO2/m2y", 1.0, 180.0),
+        _num("renewable_share", "Share of energy from renewables", "%", 0.0, 100.0),
+        _num("electric_consumption", "Annual electric consumption", "kWh/y", 100.0, 30000.0),
+        _num("gas_consumption", "Annual gas consumption", "Sm3/y", 0.0, 12000.0),
+        # -- climate and context --
+        _num("degree_days", "Heating degree days of the site", "degC d", 1000.0, 5000.0),
+        _num("altitude", "Altitude of the site", "m", 0.0, 2500.0),
+        _num("heating_hours", "Allowed daily heating hours", "h", 6.0, 24.0),
+        _num("occupants", "Conventional number of occupants", "", 1, 12),
+        # -- temporal --
+        _num("year_of_construction", "Year the building was built", "y", 1850, 2018),
+        _num("certificate_year", "Year the EPC was issued", "y", 2016, 2018),
+        _num("renovation_year", "Year of the last major renovation", "y", 1900, 2018),
+    ]
+
+
+def _categorical_attributes() -> list[AttributeSpec]:
+    """The 89 categorical / textual attributes."""
+    construction_periods = (
+        "before 1918", "1919-1945", "1946-1960", "1961-1975",
+        "1976-1990", "1991-2005", "after 2005",
+    )
+    fuels = ("natural gas", "oil", "LPG", "biomass", "district heating", "electricity")
+    exposures = ("N", "NE", "E", "SE", "S", "SW", "W", "NW")
+    return [
+        # -- identity and location (textual fields counted among the 89) --
+        _txt("certificate_id", "Unique certificate identifier"),
+        _txt("address", "Street address as typed by the certifier (free text)"),
+        _txt("house_number", "House (civic) number as typed"),
+        _cat("zip_code", "Postal code (CAP)", ()),
+        _cat("city", "Municipality name", ()),
+        _cat("province", "Province code", ("TO", "CN", "AL", "AT", "BI", "NO", "VB", "VC")),
+        _cat("region", "Region name", ("Piedmont",)),
+        _cat("district", "Administrative district within the city", ()),
+        _cat("neighbourhood", "Statistical neighbourhood within the district", ()),
+        _txt("cadastral_parcel", "Cadastral sheet/parcel identifier"),
+        _txt("building_id", "Identifier shared by units of the same building"),
+        # -- classification --
+        _cat("energy_class", "EPC energy class label", ENERGY_CLASSES),
+        _cat("building_type", "Cadastral use destination (DPR 412/93)", BUILDING_TYPES),
+        _cat("construction_period", "Construction period class", construction_periods),
+        _cat("building_category", "Building category", ("apartment block", "detached house", "terraced house", "multi-storey", "other")),
+        _cat("unit_position", "Position of the unit in the building", ("ground floor", "intermediate floor", "top floor", "whole building")),
+        _cat("certificate_reason", "Why the EPC was issued", ("sale", "rental", "new construction", "renovation", "energy requalification", "other")),
+        _cat("certification_software", "Software used by the certifier", ("CENED", "DOCET", "TerMus", "MC4", "EC700", "other")),
+        _txt("certifier_id", "Registration code of the certifier"),
+        # -- envelope descriptors --
+        _cat("wall_type", "Prevailing external wall technology", ("solid brick", "hollow brick", "concrete", "stone", "wood", "mixed")),
+        _cat("wall_insulation", "External wall insulation", ("none", "partial", "full", "external coat")),
+        _cat("roof_type", "Roof construction type", ("pitched tiles", "flat slab", "wooden pitched", "metal", "green roof")),
+        _cat("roof_insulation", "Roof insulation state", ("none", "partial", "full")),
+        _cat("floor_type", "Lower slab type", ("on ground", "on cellar", "on pilotis", "on unheated room")),
+        _cat("window_frame", "Prevailing window frame material", ("wood", "aluminium", "PVC", "aluminium thermal break", "steel")),
+        _cat("glazing_type", "Prevailing glazing", ("single", "double", "double low-e", "triple")),
+        _cat("shutters", "External shading/shutter presence", _PRESENT_ABSENT),
+        _cat("prevailing_exposure", "Prevailing facade exposure", exposures),
+        _cat("envelope_state", "Conservation state of the envelope", _QUALITY),
+        _cat("thermal_bridges_corrected", "Thermal bridges corrected", _YES_NO),
+        # -- heating plant --
+        _cat("heating_fuel", "Primary space-heating fuel", fuels),
+        _cat("heating_type", "Heating plant configuration", ("autonomous", "centralized", "district", "heat pump", "stove")),
+        _cat("generator_type", "Heat generator technology", ("standard boiler", "condensing boiler", "heat pump", "biomass boiler", "district exchanger", "electric")),
+        _cat("emitter_type", "Heat emitter type", ("radiators", "fan coils", "radiant floor", "air ducts", "stoves")),
+        _cat("distribution_type", "Distribution network type", ("vertical columns", "horizontal ring", "autonomous ring", "none")),
+        _cat("regulation_type", "Heating control strategy", ("none", "climatic", "zone thermostat", "thermostatic valves", "climatic+valves")),
+        _cat("heat_metering", "Individual heat metering installed", _YES_NO),
+        _cat("chimney_type", "Flue/chimney configuration", ("individual", "collective", "wall vented", "none")),
+        # -- hot water --
+        _cat("dhw_fuel", "Domestic hot water fuel", fuels),
+        _cat("dhw_generator", "DHW generator type", ("combined with heating", "dedicated boiler", "electric heater", "heat pump", "solar assisted")),
+        _cat("dhw_storage", "DHW storage tank present", _PRESENT_ABSENT),
+        # -- cooling and ventilation --
+        _cat("cooling_system", "Space cooling system", ("none", "split units", "centralized", "heat pump reversible")),
+        _cat("ventilation_type", "Ventilation strategy", ("natural", "mechanical extract", "balanced mechanical", "heat recovery")),
+        _cat("humidity_control", "Humidity control present", _YES_NO),
+        # -- renewables --
+        _cat("solar_thermal", "Solar thermal panels", _PRESENT_ABSENT),
+        _cat("photovoltaic", "Photovoltaic panels", _PRESENT_ABSENT),
+        _cat("other_renewables", "Other renewable sources", ("none", "geothermal", "biomass", "micro wind", "mixed")),
+        # -- administrative / compliance flags (real APE carries dozens) --
+        _cat("new_building", "Certificate for a new building", _YES_NO),
+        _cat("major_renovation", "Major renovation performed", _YES_NO),
+        _cat("public_building", "Publicly owned building", _YES_NO),
+        _cat("historic_constraint", "Under cultural-heritage constraint", _YES_NO),
+        _cat("occupied_at_inspection", "Unit occupied at inspection time", _YES_NO),
+        _cat("inspection_performed", "On-site inspection performed", _YES_NO),
+        _cat("project_data_used", "Design-project data used for inputs", _YES_NO),
+        _cat("energy_audit_attached", "Energy audit attached", _YES_NO),
+        _cat("improvement_recommended", "Improvement measures recommended", _YES_NO),
+        _cat("recommended_envelope_work", "Envelope works recommended", _YES_NO),
+        _cat("recommended_plant_work", "Plant works recommended", _YES_NO),
+        _cat("recommended_renewables", "Renewable installation recommended", _YES_NO),
+        _cat("class_after_works", "Energy class reachable after works", ENERGY_CLASSES),
+        _cat("nzeb", "Nearly-zero-energy building", _YES_NO),
+        _cat("summer_envelope_quality", "Summer envelope performance class", _QUALITY),
+        _cat("winter_envelope_quality", "Winter envelope performance class", _QUALITY),
+        _cat("adjacent_heated_units", "Adjacency to other heated units", ("none", "one side", "two sides", "three or more")),
+        _cat("basement_present", "Basement or cellar present", _YES_NO),
+        _cat("attic_present", "Attic present", _YES_NO),
+        _cat("attic_heated", "Attic heated", _YES_NO),
+        _cat("garage_present", "Garage annexed to the unit", _YES_NO),
+        _cat("lift_present", "Lift in the building", _YES_NO),
+        _cat("gas_connection", "Connected to the gas grid", _YES_NO),
+        _cat("district_heating_available", "District heating available in the street", _YES_NO),
+        _cat("smart_thermostat", "Smart thermostat installed", _YES_NO),
+        _cat("condensing_ready_flue", "Flue compatible with condensing boiler", _YES_NO),
+        _cat("window_replacement_done", "Windows already replaced", _YES_NO),
+        _cat("facade_renovated", "Facade renovated in the last 10 years", _YES_NO),
+        _cat("roof_renovated", "Roof renovated in the last 10 years", _YES_NO),
+        _cat("plant_renovated", "Heating plant renovated in the last 10 years", _YES_NO),
+        _cat("anti_legionella", "Anti-legionella DHW treatment", _YES_NO),
+        _cat("water_saving_devices", "Water-saving devices installed", _YES_NO),
+        _cat("led_lighting", "Prevailing LED lighting (common areas)", _YES_NO),
+        _cat("building_automation", "Building-automation class (EN 15232)", ("A", "B", "C", "D")),
+        _cat("epc_validity", "Certificate validity state", ("valid", "expired", "replaced")),
+        _cat("data_source", "How the certificate was filed", ("online portal", "certified email", "paper", "bulk import")),
+        _cat("quality_check_passed", "Regional automatic quality check outcome", ("passed", "warning", "failed")),
+        _cat("subsidized", "Built under subsidized housing schemes", _YES_NO),
+        _cat("rented", "Unit currently rented", _YES_NO),
+        _cat("owner_occupied", "Unit occupied by the owner", _YES_NO),
+        _cat("climatic_zone", "Italian climatic zone of the site", ("C", "D", "E", "F")),
+        _cat("urban_context", "Urban context of the building", ("historic centre", "dense urban", "suburban", "rural")),
+    ]
+
+
+class EpcSchema:
+    """The full 132-attribute EPC schema with lookup helpers."""
+
+    def __init__(self, attributes: list[AttributeSpec]):
+        self._attributes = list(attributes)
+        self._by_name = {a.name: a for a in self._attributes}
+        if len(self._by_name) != len(self._attributes):
+            raise ValueError("duplicate attribute names in schema")
+
+    @property
+    def attributes(self) -> list[AttributeSpec]:
+        """The attributes referenced anywhere in the rule."""
+        return list(self._attributes)
+
+    @property
+    def names(self) -> list[str]:
+        """Attribute names in schema order."""
+        return [a.name for a in self._attributes]
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def spec(self, name: str) -> AttributeSpec:
+        """The :class:`AttributeSpec` named *name*."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown EPC attribute {name!r}") from None
+
+    def kinds(self) -> dict[str, ColumnKind]:
+        """``{name: kind}`` for :meth:`Table.from_rows`."""
+        return {a.name: a.kind for a in self._attributes}
+
+    def quantitative_names(self) -> list[str]:
+        """Names of the numeric attributes, in schema order."""
+        return [a.name for a in self._attributes if a.kind is ColumnKind.NUMERIC]
+
+    def categorical_names(self) -> list[str]:
+        """Names of non-quantitative attributes (categorical + text), the
+        bucket the paper counts as its '89 categorical attributes'."""
+        return [a.name for a in self._attributes if a.kind is not ColumnKind.NUMERIC]
+
+
+def epc_schema() -> EpcSchema:
+    """Build the canonical 132-attribute schema (43 quantitative + 89 categorical)."""
+    return EpcSchema(_quantitative_attributes() + _categorical_attributes())

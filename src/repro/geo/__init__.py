@@ -1,0 +1,40 @@
+"""Geospatial substrate: distances, grid index, regions, GeoJSON."""
+
+from .distance import (
+    EARTH_RADIUS_KM,
+    equirectangular_km,
+    haversine_km,
+    haversine_km_vec,
+    km_per_degree,
+)
+from .grid import GridIndex
+from .regions import Granularity, Region, RegionHierarchy, point_in_polygon
+from .geojson import (
+    dumps,
+    feature_collection,
+    loads,
+    point_feature,
+    points_from_collection,
+    polygon_feature,
+    region_feature,
+)
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "equirectangular_km",
+    "haversine_km",
+    "haversine_km_vec",
+    "km_per_degree",
+    "GridIndex",
+    "Granularity",
+    "Region",
+    "RegionHierarchy",
+    "point_in_polygon",
+    "dumps",
+    "feature_collection",
+    "loads",
+    "point_feature",
+    "points_from_collection",
+    "polygon_feature",
+    "region_feature",
+]

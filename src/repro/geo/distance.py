@@ -1,0 +1,66 @@
+"""Geographic distance primitives.
+
+INDICE's maps and the multivariate outlier step both need metric distances
+between geolocated certificates.  For the city-scale extents involved
+(tens of kilometres), two measures are provided:
+
+* :func:`haversine_km` — exact great-circle distance on a spherical Earth;
+* :func:`equirectangular_km` — the fast small-area approximation used by
+  the spatial grid index and the marker-clustering engine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "haversine_km",
+    "haversine_km_vec",
+    "equirectangular_km",
+    "km_per_degree",
+]
+
+#: Mean Earth radius (IUGG), in kilometres.
+EARTH_RADIUS_KM = 6371.0088
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in km between two WGS84 points.
+
+    >>> round(haversine_km(45.07, 7.68, 45.07, 7.68), 6)
+    0.0
+    """
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def haversine_km_vec(
+    lat1: np.ndarray, lon1: np.ndarray, lat2: np.ndarray, lon2: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`haversine_km` over aligned coordinate arrays."""
+    phi1, phi2 = np.radians(lat1), np.radians(lat2)
+    dphi = phi2 - phi1
+    dlam = np.radians(np.asarray(lon2) - np.asarray(lon1))
+    a = np.sin(dphi / 2) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
+
+def equirectangular_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Equirectangular-projection distance in km (fast, accurate over a city)."""
+    mean_phi = math.radians((lat1 + lat2) / 2)
+    x = math.radians(lon2 - lon1) * math.cos(mean_phi)
+    y = math.radians(lat2 - lat1)
+    return EARTH_RADIUS_KM * math.hypot(x, y)
+
+
+def km_per_degree(latitude: float) -> tuple[float, float]:
+    """(km per degree of latitude, km per degree of longitude) at *latitude*."""
+    per_lat = EARTH_RADIUS_KM * math.pi / 180.0
+    per_lon = per_lat * math.cos(math.radians(latitude))
+    return per_lat, per_lon

@@ -1,0 +1,149 @@
+"""Administrative regions and the spatial granularity hierarchy.
+
+INDICE presents knowledge "at different spatial granularity levels such as
+city, district, neighbourhood, or housing unit" (paper, Section 2.3).  This
+module models that hierarchy:
+
+* :class:`Granularity` — the four zoom levels, ordered coarse -> fine;
+* :class:`Region` — a named polygonal administrative area;
+* :class:`RegionHierarchy` — a city split into districts split into
+  neighbourhoods, with point -> region assignment.
+
+Polygons are simple (non-self-intersecting) rings of (lat, lon) vertices;
+containment uses the even-odd ray-casting rule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Granularity", "Region", "RegionHierarchy", "point_in_polygon"]
+
+
+class Granularity(enum.IntEnum):
+    """Spatial zoom levels, ordered from coarse to fine."""
+
+    CITY = 1
+    DISTRICT = 2
+    NEIGHBOURHOOD = 3
+    UNIT = 4
+
+    def finer(self) -> "Granularity":
+        """The next level of detail (UNIT stays UNIT)."""
+        return Granularity(min(self.value + 1, Granularity.UNIT.value))
+
+    def coarser(self) -> "Granularity":
+        """The previous level of detail (CITY stays CITY)."""
+        return Granularity(max(self.value - 1, Granularity.CITY.value))
+
+
+def point_in_polygon(lat: float, lon: float, ring: list[tuple[float, float]]) -> bool:
+    """Even-odd ray-casting containment test for a simple polygon *ring*.
+
+    Vertices are (lat, lon) pairs; the ring closes implicitly.  Points on an
+    edge may land on either side — acceptable for region assignment where
+    synthetic coordinates never sit exactly on boundaries.
+    """
+    inside = False
+    n = len(ring)
+    for i in range(n):
+        lat1, lon1 = ring[i]
+        lat2, lon2 = ring[(i + 1) % n]
+        if (lon1 > lon) != (lon2 > lon):
+            t = (lon - lon1) / (lon2 - lon1)
+            crossing_lat = lat1 + t * (lat2 - lat1)
+            if lat < crossing_lat:
+                inside = not inside
+    return inside
+
+
+@dataclass
+class Region:
+    """A named polygonal administrative area.
+
+    ``parent`` is the name of the enclosing region (``None`` for the city).
+    """
+
+    name: str
+    level: Granularity
+    ring: list[tuple[float, float]]
+    parent: str | None = None
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """True when the point lies inside this region's polygon."""
+        return point_in_polygon(lat, lon, self.ring)
+
+    def centroid(self) -> tuple[float, float]:
+        """Vertex-average centroid (adequate for the convex synthetic rings)."""
+        lats = [p[0] for p in self.ring]
+        lons = [p[1] for p in self.ring]
+        return (sum(lats) / len(lats), sum(lons) / len(lons))
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """(min_lat, min_lon, max_lat, max_lon)."""
+        lats = [p[0] for p in self.ring]
+        lons = [p[1] for p in self.ring]
+        return (min(lats), min(lons), max(lats), max(lons))
+
+
+@dataclass
+class RegionHierarchy:
+    """A city with its districts and neighbourhoods.
+
+    Regions at each level must tile the city without overlaps for assignment
+    to be unambiguous; the synthetic city generator guarantees this.
+    """
+
+    city: Region
+    districts: list[Region] = field(default_factory=list)
+    neighbourhoods: list[Region] = field(default_factory=list)
+
+    def regions_at(self, level: Granularity) -> list[Region]:
+        """All regions at zoom *level* (UNIT has no polygons — empty list)."""
+        if level is Granularity.CITY:
+            return [self.city]
+        if level is Granularity.DISTRICT:
+            return list(self.districts)
+        if level is Granularity.NEIGHBOURHOOD:
+            return list(self.neighbourhoods)
+        return []
+
+    def region_of(self, lat: float, lon: float, level: Granularity) -> Region | None:
+        """The region at *level* containing the point, or ``None``."""
+        for region in self.regions_at(level):
+            if region.contains(lat, lon):
+                return region
+        return None
+
+    def assign(
+        self, latitudes: np.ndarray, longitudes: np.ndarray, level: Granularity
+    ) -> list[str | None]:
+        """Vector assignment of points to region names at *level*.
+
+        NaN coordinates map to ``None``.  Uses each region's bounding box as
+        a cheap pre-filter before the exact polygon test.
+        """
+        regions = self.regions_at(level)
+        boxes = [r.bounding_box() for r in regions]
+        out: list[str | None] = []
+        for lat, lon in zip(np.asarray(latitudes), np.asarray(longitudes)):
+            if np.isnan(lat) or np.isnan(lon):
+                out.append(None)
+                continue
+            name = None
+            for region, (lo_lat, lo_lon, hi_lat, hi_lon) in zip(regions, boxes):
+                if lo_lat <= lat <= hi_lat and lo_lon <= lon <= hi_lon:
+                    if region.contains(float(lat), float(lon)):
+                        name = region.name
+                        break
+            out.append(name)
+        return out
+
+    def children_of(self, name: str) -> list[Region]:
+        """The direct children of region *name* in the hierarchy."""
+        if name == self.city.name:
+            return list(self.districts)
+        return [r for r in self.neighbourhoods if r.parent == name]

@@ -1,0 +1,268 @@
+"""Geospatial attribute cleaning against a referenced street map.
+
+This is the paper's multi-step algorithm (Section 2.1.1) in full:
+
+1. normalize the EPC address (and every gazetteer street) so harmless
+   representational noise never counts as edit distance;
+2. try an **exact** lookup of the normalized street;
+3. otherwise compute Levenshtein similarity against the gazetteer streets:
+   "the referenced address (the most similar to the address under analysis)
+   replaces the original one if Levenshtein similarity between the two
+   addresses is greater than or equal to phi";
+4. "when the association to a referenced address is not possible, i.e.,
+   Levenshtein similarities are below phi, a geocoding request is sent"
+   — to the metered :class:`~repro.preprocessing.geocoder.SimulatedGeocoder`;
+5. once a street is resolved, the civic-level gazetteer record
+   "reconstruct[s] missing or incorrect information in the attributes
+   ZIP Code, house address, latitude and longitude".
+
+Every row receives an audit entry so experiments can score the cleaner
+against the noise log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dataset.streetmap import AddressRecord, StreetMap
+from ..dataset.table import Column, ColumnKind, Table
+from ..geo.distance import equirectangular_km
+from ..text.levenshtein import best_match
+from ..text.normalize import canonical_house_number, normalize_address
+from .geocoder import GeocodeStatus, QuotaExceededError, SimulatedGeocoder
+
+__all__ = ["CleaningConfig", "MatchStatus", "RowAudit", "CleaningReport", "AddressCleaner"]
+
+#: Default acceptance threshold for Levenshtein similarity.
+DEFAULT_PHI = 0.80
+
+
+class MatchStatus(enum.Enum):
+    """How a row's address was resolved."""
+
+    EXACT = "exact"              # normalized street found verbatim in the gazetteer
+    MATCHED = "matched"          # accepted by Levenshtein similarity >= phi
+    GEOCODED = "geocoded"        # resolved by the fallback geocoding service
+    UNRESOLVED = "unresolved"    # no association possible
+    SKIPPED = "skipped"          # no address value to work with
+
+
+@dataclass
+class CleaningConfig:
+    """Tuning knobs of the cleaning algorithm.
+
+    ``phi`` is the user-defined similarity threshold from the paper.
+    ``coordinate_tolerance_km`` bounds how far the stored coordinates may
+    sit from the gazetteer location before being overwritten.
+    """
+
+    phi: float = DEFAULT_PHI
+    use_geocoder: bool = True
+    coordinate_tolerance_km: float = 0.5
+    repair_zip: bool = True
+    repair_coordinates: bool = True
+    repair_house_number: bool = True
+
+
+@dataclass
+class RowAudit:
+    """Per-row record of what the cleaner decided and changed."""
+
+    row: int
+    status: MatchStatus
+    similarity: float = 0.0
+    original_address: str | None = None
+    resolved_street: str | None = None
+    repaired_fields: tuple[str, ...] = ()
+
+
+@dataclass
+class CleaningReport:
+    """The cleaned table plus the full audit trail."""
+
+    table: Table
+    audits: list[RowAudit] = field(default_factory=list)
+    geocoder_requests: int = 0
+    geocoder_quota_exhausted: bool = False
+
+    def counts_by_status(self) -> dict[MatchStatus, int]:
+        """Number of audited rows per match status."""
+        out: dict[MatchStatus, int] = {}
+        for audit in self.audits:
+            out[audit.status] = out.get(audit.status, 0) + 1
+        return out
+
+    def resolution_rate(self) -> float:
+        """Share of address-bearing rows resolved to a gazetteer street."""
+        attempted = [
+            a for a in self.audits if a.status is not MatchStatus.SKIPPED
+        ]
+        if not attempted:
+            return 0.0
+        resolved = [
+            a
+            for a in attempted
+            if a.status in (MatchStatus.EXACT, MatchStatus.MATCHED, MatchStatus.GEOCODED)
+        ]
+        return len(resolved) / len(attempted)
+
+
+class AddressCleaner:
+    """The INDICE geospatial cleaning engine.
+
+    Build it once per referenced street map; :meth:`clean_table` can then
+    process any table carrying the five geospatial attributes (``address``,
+    ``house_number``, ``zip_code``, ``latitude``, ``longitude``).
+    """
+
+    def __init__(
+        self,
+        street_map: StreetMap,
+        config: CleaningConfig | None = None,
+        geocoder: SimulatedGeocoder | None = None,
+    ):
+        self.config = config or CleaningConfig()
+        if not 0.0 <= self.config.phi <= 1.0:
+            raise ValueError(f"phi must be in [0, 1], got {self.config.phi}")
+        self._by_street = street_map.records_by_street()
+        self._streets = sorted(self._by_street)
+        self._street_set = set(self._streets)
+        self._geocoder = geocoder
+        if self.config.use_geocoder and geocoder is None:
+            self._geocoder = SimulatedGeocoder(street_map)
+
+    # -- street resolution --------------------------------------------------
+
+    def resolve_street(self, raw_address: str | None) -> tuple[str | None, MatchStatus, float]:
+        """Resolve one raw address to a gazetteer street name.
+
+        Returns ``(street or None, status, similarity)``; does not consult
+        the geocoder (that decision is made per-row in :meth:`clean_table`
+        so quota accounting stays centralized).
+        """
+        normalized = normalize_address(raw_address)
+        if not normalized:
+            return None, MatchStatus.SKIPPED, 0.0
+        if normalized in self._street_set:
+            return normalized, MatchStatus.EXACT, 1.0
+        hit = best_match(normalized, self._streets, phi=self.config.phi)
+        if hit is None:
+            return None, MatchStatus.UNRESOLVED, 0.0
+        index, sim = hit
+        return self._streets[index], MatchStatus.MATCHED, sim
+
+    def _record_for(
+        self, street: str, house_number: str | None, lat: float, lon: float
+    ) -> AddressRecord:
+        """Pick the civic record: by number when possible, else nearest to
+        the stored coordinates, else the street's first civic."""
+        candidates = self._by_street[street]
+        number = canonical_house_number(house_number)
+        if number is not None:
+            for rec in candidates:
+                if canonical_house_number(rec.house_number) == number:
+                    return rec
+        if not (np.isnan(lat) or np.isnan(lon)):
+            return min(
+                candidates,
+                key=lambda r: equirectangular_km(lat, lon, r.latitude, r.longitude),
+            )
+        return candidates[0]
+
+    # -- table-level cleaning --------------------------------------------------
+
+    def clean_table(self, table: Table) -> CleaningReport:
+        """Clean the geospatial attributes of every row of *table*.
+
+        Returns a new table (the input is untouched) in which resolved rows
+        carry the gazetteer's street name and, depending on the config,
+        repaired ZIP, house number and coordinates.  Unresolved rows are
+        kept as-is — downstream queries can exclude them via the audit.
+        """
+        cfg = self.config
+        n = table.n_rows
+        address = np.array(table["address"], dtype=object)
+        house_number = np.array(table["house_number"], dtype=object)
+        zip_code = np.array(table["zip_code"], dtype=object)
+        lat = table["latitude"].copy()
+        lon = table["longitude"].copy()
+
+        audits: list[RowAudit] = []
+        geocoder_requests = 0
+        quota_exhausted = False
+        # identical raw strings resolve identically; memoize per distinct value
+        resolve_cache: dict[str, tuple[str | None, MatchStatus, float]] = {}
+
+        for i in range(n):
+            raw = address[i]
+            if raw in resolve_cache:
+                street, status, sim = resolve_cache[raw]
+            else:
+                street, status, sim = self.resolve_street(raw)
+                if raw is not None:
+                    resolve_cache[raw] = (street, status, sim)
+
+            if status is MatchStatus.UNRESOLVED and cfg.use_geocoder and self._geocoder:
+                if not quota_exhausted:
+                    try:
+                        response = self._geocoder.geocode(raw, house_number[i])
+                        geocoder_requests += 1
+                        if response.status == GeocodeStatus.OK and response.record:
+                            street = response.record.street
+                            status = MatchStatus.GEOCODED
+                            sim = response.confidence
+                    except QuotaExceededError:
+                        quota_exhausted = True
+
+            if street is None:
+                audits.append(RowAudit(i, status, sim, raw))
+                continue
+
+            record = self._record_for(street, house_number[i], float(lat[i]), float(lon[i]))
+            repaired: list[str] = []
+
+            if address[i] != record.street:
+                address[i] = record.street
+                repaired.append("address")
+            if cfg.repair_house_number:
+                canonical = canonical_house_number(house_number[i])
+                if canonical is None:
+                    house_number[i] = record.house_number
+                    repaired.append("house_number")
+                elif canonical != house_number[i]:
+                    house_number[i] = canonical
+                    repaired.append("house_number")
+            if cfg.repair_zip and zip_code[i] != record.zip_code:
+                zip_code[i] = record.zip_code
+                repaired.append("zip_code")
+            if cfg.repair_coordinates:
+                missing = np.isnan(lat[i]) or np.isnan(lon[i])
+                if missing or (
+                    equirectangular_km(float(lat[i]), float(lon[i]), record.latitude, record.longitude)
+                    > cfg.coordinate_tolerance_km
+                ):
+                    lat[i] = record.latitude
+                    lon[i] = record.longitude
+                    repaired.append("coordinates")
+
+            audits.append(
+                RowAudit(i, status, sim, raw, record.street, tuple(repaired))
+            )
+
+        cleaned = (
+            table.with_column(Column("address", ColumnKind.TEXT, address))
+            .with_column(Column("house_number", ColumnKind.TEXT, house_number))
+            .with_column(Column("zip_code", ColumnKind.CATEGORICAL, zip_code))
+            .with_column(Column("latitude", ColumnKind.NUMERIC, lat))
+            .with_column(Column("longitude", ColumnKind.NUMERIC, lon))
+            .select(table.column_names)
+        )
+        return CleaningReport(
+            table=cleaned,
+            audits=audits,
+            geocoder_requests=geocoder_requests,
+            geocoder_quota_exhausted=quota_exhausted,
+        )

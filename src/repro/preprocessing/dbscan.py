@@ -1,0 +1,117 @@
+"""DBSCAN for multivariate outlier detection.
+
+"For the multivariate outlier detection, INDICE integrates the DBSCAN
+algorithm ... clusters with higher-density regions are separated by
+lower-density regions" (paper, Section 2.1.2).  Points that end up in no
+cluster — DBSCAN noise — are the multivariate outliers INDICE removes.
+
+This is a from-scratch implementation (scikit-learn is a substituted
+dependency, see DESIGN.md): classic label propagation over eps-neighbour
+graphs, with region queries served either by a KD-tree (scipy) in feature
+space or brute force for small inputs.  Features should be standardized by
+the caller; :func:`repro.analytics.kmeans.standardize` is the usual choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["DbscanResult", "dbscan", "NOISE"]
+
+#: Cluster label assigned to noise points.
+NOISE = -1
+
+
+@dataclass
+class DbscanResult:
+    """Labels and bookkeeping of a DBSCAN run.
+
+    ``labels[i]`` is the cluster id of row i (0-based) or :data:`NOISE`.
+    Rows with any NaN coordinate are labelled noise and recorded in
+    ``n_missing`` (they cannot participate in density estimates).
+    """
+
+    labels: np.ndarray
+    eps: float
+    min_points: int
+    n_missing: int = 0
+    core_mask: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters found (noise excluded)."""
+        valid = self.labels[self.labels != NOISE]
+        return len(np.unique(valid)) if len(valid) else 0
+
+    @property
+    def noise_mask(self) -> np.ndarray:
+        """Boolean mask of noise rows (the multivariate outliers)."""
+        return self.labels == NOISE
+
+    @property
+    def n_noise(self) -> int:
+        """Number of noise points (the multivariate outliers)."""
+        return int(self.noise_mask.sum())
+
+    def cluster_sizes(self) -> dict[int, int]:
+        """``{cluster_id: size}`` excluding noise."""
+        ids, counts = np.unique(self.labels[self.labels != NOISE], return_counts=True)
+        return {int(i): int(c) for i, c in zip(ids, counts)}
+
+
+def dbscan(points: np.ndarray, eps: float, min_points: int) -> DbscanResult:
+    """Run DBSCAN on an ``(n, d)`` matrix.
+
+    ``min_points`` counts the point itself, as in the original paper [12].
+    A point is *core* when its eps-ball holds at least ``min_points``
+    points; clusters grow from cores through density reachability; border
+    points join the first cluster that reaches them; the rest is noise.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"expected an (n, d) matrix, got shape {points.shape}")
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if min_points < 1:
+        raise ValueError("min_points must be >= 1")
+
+    n = len(points)
+    labels = np.full(n, NOISE, dtype=np.intp)
+    complete = ~np.isnan(points).any(axis=1)
+    valid_idx = np.flatnonzero(complete)
+    n_missing = n - len(valid_idx)
+    if len(valid_idx) == 0:
+        return DbscanResult(labels, eps, min_points, n_missing, np.zeros(n, dtype=bool))
+
+    coords = points[valid_idx]
+    tree = cKDTree(coords)
+    neighbor_lists = tree.query_ball_point(coords, r=eps)
+    core_local = np.array([len(nb) >= min_points for nb in neighbor_lists])
+
+    core_mask = np.zeros(n, dtype=bool)
+    core_mask[valid_idx[core_local]] = True
+
+    local_labels = np.full(len(valid_idx), NOISE, dtype=np.intp)
+    cluster = 0
+    for seed in np.flatnonzero(core_local):
+        if local_labels[seed] != NOISE:
+            continue
+        # breadth-first expansion from this core point
+        local_labels[seed] = cluster
+        frontier = [seed]
+        while frontier:
+            point = frontier.pop()
+            if not core_local[point]:
+                continue
+            for nb in neighbor_lists[point]:
+                if local_labels[nb] == NOISE:
+                    local_labels[nb] = cluster
+                    if core_local[nb]:
+                        frontier.append(nb)
+        cluster += 1
+
+    labels[valid_idx] = local_labels
+    return DbscanResult(labels, eps, min_points, n_missing, core_mask)

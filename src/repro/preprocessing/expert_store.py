@@ -1,0 +1,154 @@
+"""Expert-driven configuration suggestions for non-expert users.
+
+"By collecting and storing expert user (e.g., energy scientists) INDICE
+configurations, the non-expert users can receive interesting and effective
+suggestions to properly deal with noisy data ... their choices are
+automatically stored as default configurations for non-expert users"
+(paper, Section 2.1.2).
+
+The store records every configuration an expert applies (which outlier
+method, with which parameters, on which attribute) and suggests, per
+attribute, the configuration experts used most often — falling back to the
+globally most frequent configuration, and finally to a conservative
+built-in default.  It persists as JSON so suggestions survive sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from .outliers import OutlierMethod
+
+__all__ = ["ExpertConfiguration", "ExpertConfigStore", "BUILTIN_DEFAULT"]
+
+
+@dataclass(frozen=True)
+class ExpertConfiguration:
+    """One stored expert choice for one attribute."""
+
+    attribute: str
+    method: OutlierMethod
+    params: tuple[tuple[str, float], ...] = ()
+    expert: str = "anonymous"
+
+    def params_dict(self) -> dict[str, float]:
+        """The stored parameters as a plain dict."""
+        return dict(self.params)
+
+    @staticmethod
+    def make(attribute: str, method: OutlierMethod, params: dict[str, float] | None = None,
+             expert: str = "anonymous") -> "ExpertConfiguration":
+        """Build a configuration from a plain params dict (order-stable)."""
+        items = tuple(sorted((params or {}).items()))
+        return ExpertConfiguration(attribute, method, items, expert)
+
+
+#: Conservative fallback when the store has no history at all.
+BUILTIN_DEFAULT = ExpertConfiguration.make(
+    "*", OutlierMethod.MAD, {"cutoff": 3.5}
+)
+
+#: The attributes the current INDICE version tracks expert choices for
+#: (paper: thermo-physical characteristics and heating-subsystem efficiencies).
+TRACKED_ATTRIBUTES = (
+    "aspect_ratio",
+    "u_value_opaque",
+    "u_value_windows",
+    "eta_distribution",
+    "eta_generation",
+    "eta_h",
+)
+
+
+class ExpertConfigStore:
+    """Persistent frequency store of expert configurations."""
+
+    def __init__(self, path: str | Path | None = None):
+        self._path = Path(path) if path is not None else None
+        self._records: list[ExpertConfiguration] = []
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, config: ExpertConfiguration) -> None:
+        """Store one expert choice and persist if a path is configured."""
+        self._records.append(config)
+        if self._path is not None:
+            self._save()
+
+    def record_choice(
+        self,
+        attribute: str,
+        method: OutlierMethod,
+        params: dict[str, float] | None = None,
+        expert: str = "anonymous",
+    ) -> None:
+        """Convenience wrapper around :meth:`record`."""
+        self.record(ExpertConfiguration.make(attribute, method, params, expert))
+
+    # -- suggesting --------------------------------------------------------
+
+    def suggest(self, attribute: str) -> ExpertConfiguration:
+        """The configuration to offer a non-expert user for *attribute*.
+
+        Most frequent expert choice for that attribute; ties break toward
+        the most recent record.  Falls back to the globally most frequent
+        choice, then to :data:`BUILTIN_DEFAULT`.
+        """
+        for pool in (
+            [r for r in self._records if r.attribute == attribute],
+            self._records,
+        ):
+            if pool:
+                keyed = Counter((r.method, r.params) for r in pool)
+                top_count = max(keyed.values())
+                winners = {k for k, c in keyed.items() if c == top_count}
+                for record in reversed(pool):
+                    if (record.method, record.params) in winners:
+                        return ExpertConfiguration(
+                            attribute, record.method, record.params, record.expert
+                        )
+        return ExpertConfiguration(
+            attribute, BUILTIN_DEFAULT.method, BUILTIN_DEFAULT.params, "builtin"
+        )
+
+    def suggest_all(self, attributes: tuple[str, ...] = TRACKED_ATTRIBUTES) -> dict[str, ExpertConfiguration]:
+        """Suggestions for every tracked attribute."""
+        return {a: self.suggest(a) for a in attributes}
+
+    def history(self, attribute: str | None = None) -> list[ExpertConfiguration]:
+        """The stored records, optionally filtered by attribute."""
+        if attribute is None:
+            return list(self._records)
+        return [r for r in self._records if r.attribute == attribute]
+
+    # -- persistence --------------------------------------------------------
+
+    def _save(self) -> None:
+        payload = [
+            {**asdict(r), "method": r.method.value, "params": list(r.params)}
+            for r in self._records
+        ]
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with self._path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+
+    def _load(self) -> None:
+        with self._path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        self._records = [
+            ExpertConfiguration(
+                attribute=item["attribute"],
+                method=OutlierMethod(item["method"]),
+                params=tuple((k, v) for k, v in item["params"]),
+                expert=item.get("expert", "anonymous"),
+            )
+            for item in payload
+        ]

@@ -1,0 +1,251 @@
+"""Univariate outlier detection: boxplot, generalized ESD and MAD.
+
+INDICE "integrates three methodologies to automatically detect outliers and
+remove them for the subsequent analytics steps: (i) the graphic boxplot
+method, (ii) the parametric generalized Extreme Studentized Deviate (gESD)
+method and (iii) the non-parametric Median Absolute Deviation (MAD)"
+(paper, Section 2.1.2).  All three share one interface: they take a numeric
+array (NaN = missing, never flagged) and return an :class:`OutlierResult`
+whose mask marks the values to exclude from later analytics.
+
+* **Boxplot** (Tukey): values outside ``[Q1 - k*IQR, Q3 + k*IQR]``, k = 1.5.
+  The result also carries the whisker fences so a dashboard can draw the
+  plot and let the analyst filter manually, as the paper describes.
+* **gESD** (Rosner 1983): up to ``max_outliers`` candidates are tested; the
+  number of outliers is "the largest r such that the corresponding test
+  statistic exceeds the critical value" — exactly the rule quoted in the
+  paper.  Critical values use the Student-t quantiles from scipy.
+* **MAD** (Hampel; Iglewicz & Hoaglin 1993): the modified z-score
+  ``0.6745 * |x - median| / MAD`` with the paper's cut-off of **3.5**.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "OutlierMethod",
+    "OutlierResult",
+    "boxplot_outliers",
+    "gesd_outliers",
+    "mad_outliers",
+    "detect_outliers",
+    "MAD_CUTOFF",
+    "MAD_CONSISTENCY",
+]
+
+#: The paper's modified-z-score cut-off (Iglewicz & Hoaglin, quoted in §2.1.2).
+MAD_CUTOFF = 3.5
+#: Consistency constant making MAD comparable to a standard deviation.
+MAD_CONSISTENCY = 0.6745
+
+
+class OutlierMethod(enum.Enum):
+    """The univariate detectors INDICE integrates."""
+
+    BOXPLOT = "boxplot"
+    GESD = "gesd"
+    MAD = "mad"
+
+
+@dataclass
+class OutlierResult:
+    """Outcome of a univariate detection run.
+
+    ``mask`` is aligned with the input: True marks an outlier.  Missing
+    input values are never outliers.  ``diagnostics`` carries the
+    method-specific numbers a dashboard shows (fences, test statistics...).
+    """
+
+    method: OutlierMethod
+    mask: np.ndarray
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of values flagged as outliers."""
+        return int(self.mask.sum())
+
+    def outlier_indices(self) -> np.ndarray:
+        """Indices of the flagged values."""
+        return np.flatnonzero(self.mask)
+
+    def inlier_values(self, values: np.ndarray) -> np.ndarray:
+        """The non-missing values that survived detection."""
+        values = np.asarray(values, dtype=np.float64)
+        keep = ~self.mask & ~np.isnan(values)
+        return values[keep]
+
+
+def _as_float_array(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {arr.shape}")
+    return arr
+
+
+def boxplot_outliers(values, whisker: float = 1.5) -> OutlierResult:
+    """Tukey boxplot detection: flag values beyond ``whisker`` IQRs.
+
+    Diagnostics: ``q1``, ``median``, ``q3``, ``iqr``, ``lower_fence``,
+    ``upper_fence`` — everything needed to draw the whiskers plot the paper
+    exposes to the analyst.
+    """
+    arr = _as_float_array(values)
+    present = ~np.isnan(arr)
+    mask = np.zeros(arr.shape, dtype=bool)
+    if present.sum() == 0:
+        return OutlierResult(OutlierMethod.BOXPLOT, mask, {"n_tested": 0})
+    q1, median, q3 = np.percentile(arr[present], [25, 50, 75])
+    iqr = q3 - q1
+    lower = q1 - whisker * iqr
+    upper = q3 + whisker * iqr
+    mask[present] = (arr[present] < lower) | (arr[present] > upper)
+    return OutlierResult(
+        OutlierMethod.BOXPLOT,
+        mask,
+        {
+            "q1": float(q1),
+            "median": float(median),
+            "q3": float(q3),
+            "iqr": float(iqr),
+            "lower_fence": float(lower),
+            "upper_fence": float(upper),
+            "whisker": whisker,
+            "n_tested": int(present.sum()),
+        },
+    )
+
+
+def _gesd_critical_value(n: int, i: int, alpha: float) -> float:
+    """Rosner's lambda_i critical value for the i-th gESD test (1-based)."""
+    p = 1.0 - alpha / (2.0 * (n - i + 1))
+    df = n - i - 1
+    t = stats.t.ppf(p, df)
+    return (n - i) * t / np.sqrt((df + t**2) * (n - i + 1))
+
+
+def gesd_outliers(values, max_outliers: int = 10, alpha: float = 0.05) -> OutlierResult:
+    """Generalized ESD test (Rosner 1983) for up to *max_outliers* outliers.
+
+    Performs ``max_outliers`` sequential tests, each removing the value
+    farthest from the current mean; the declared outlier count is the
+    largest ``r`` whose statistic ``R_r`` exceeds the critical value
+    ``lambda_r``.  Requires at least 3 non-missing observations per test.
+
+    Diagnostics: per-iteration ``statistics`` and ``critical_values``, and
+    the chosen ``n_declared``.
+    """
+    if max_outliers < 1:
+        raise ValueError("max_outliers must be >= 1")
+    arr = _as_float_array(values)
+    present_idx = np.flatnonzero(~np.isnan(arr))
+    mask = np.zeros(arr.shape, dtype=bool)
+    n = len(present_idx)
+    max_outliers = min(max_outliers, max(n - 3, 0))
+    if max_outliers == 0:
+        return OutlierResult(
+            OutlierMethod.GESD, mask,
+            {"statistics": [], "critical_values": [], "n_declared": 0, "alpha": alpha},
+        )
+
+    working = arr[present_idx].astype(np.float64)
+    candidate_order: list[int] = []  # positions into present_idx
+    statistics: list[float] = []
+    criticals: list[float] = []
+    active = np.ones(n, dtype=bool)
+    for i in range(1, max_outliers + 1):
+        current = working[active]
+        mean = current.mean()
+        std = current.std(ddof=1)
+        if std == 0:
+            break
+        deviations = np.abs(working - mean)
+        deviations[~active] = -np.inf
+        worst = int(np.argmax(deviations))
+        statistic = float(deviations[worst] / std)
+        statistics.append(statistic)
+        criticals.append(float(_gesd_critical_value(n, i, alpha)))
+        candidate_order.append(worst)
+        active[worst] = False
+
+    n_declared = 0
+    for i, (stat, crit) in enumerate(zip(statistics, criticals), start=1):
+        if stat > crit:
+            n_declared = i
+    for pos in candidate_order[:n_declared]:
+        mask[present_idx[pos]] = True
+    return OutlierResult(
+        OutlierMethod.GESD,
+        mask,
+        {
+            "statistics": statistics,
+            "critical_values": criticals,
+            "n_declared": n_declared,
+            "alpha": alpha,
+            "max_outliers": max_outliers,
+        },
+    )
+
+
+def mad_outliers(values, cutoff: float = MAD_CUTOFF) -> OutlierResult:
+    """MAD-based detection with the modified z-score.
+
+    A point is an outlier when ``0.6745 * |x - median| / MAD > cutoff``
+    (default 3.5, the value the paper adopts from Iglewicz & Hoaglin).
+    Falls back to the mean absolute deviation about the median when the MAD
+    is zero (more than half the sample identical), matching Iglewicz &
+    Hoaglin's recommendation.
+    """
+    arr = _as_float_array(values)
+    present = ~np.isnan(arr)
+    mask = np.zeros(arr.shape, dtype=bool)
+    if present.sum() == 0:
+        return OutlierResult(OutlierMethod.MAD, mask, {"n_tested": 0})
+    sample = arr[present]
+    median = np.median(sample)
+    abs_dev = np.abs(sample - median)
+    mad = np.median(abs_dev)
+    if mad > 0:
+        scores = MAD_CONSISTENCY * abs_dev / mad
+        scale_used = "mad"
+    else:
+        mean_ad = abs_dev.mean()
+        if mean_ad == 0:
+            return OutlierResult(
+                OutlierMethod.MAD, mask,
+                {"median": float(median), "mad": 0.0, "n_tested": int(present.sum())},
+            )
+        scores = abs_dev / (1.253314 * mean_ad)
+        scale_used = "mean_ad"
+    mask[present] = scores > cutoff
+    return OutlierResult(
+        OutlierMethod.MAD,
+        mask,
+        {
+            "median": float(median),
+            "mad": float(mad),
+            "cutoff": cutoff,
+            "scale": scale_used,
+            "n_tested": int(present.sum()),
+        },
+    )
+
+
+def detect_outliers(values, method: OutlierMethod, **kwargs) -> OutlierResult:
+    """Dispatch to the chosen univariate detector.
+
+    Keyword arguments are forwarded: ``whisker`` (boxplot),
+    ``max_outliers``/``alpha`` (gESD), ``cutoff`` (MAD).
+    """
+    if method is OutlierMethod.BOXPLOT:
+        return boxplot_outliers(values, **kwargs)
+    if method is OutlierMethod.GESD:
+        return gesd_outliers(values, **kwargs)
+    if method is OutlierMethod.MAD:
+        return mad_outliers(values, **kwargs)
+    raise ValueError(f"unknown outlier method {method!r}")

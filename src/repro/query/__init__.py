@@ -1,0 +1,41 @@
+"""INDICE querying tier: predicates, the query engine, stakeholder profiles."""
+
+from .predicates import (
+    And,
+    Between,
+    Comparison,
+    IsMissing,
+    Not,
+    OneOf,
+    Or,
+    Predicate,
+    WithinRegion,
+)
+from .engine import Query, QueryEngine, QueryResult
+from .stakeholders import (
+    RecommendedReport,
+    ReportKind,
+    Stakeholder,
+    StakeholderProfile,
+    profile_for,
+)
+
+__all__ = [
+    "And",
+    "Between",
+    "Comparison",
+    "IsMissing",
+    "Not",
+    "OneOf",
+    "Or",
+    "Predicate",
+    "WithinRegion",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "RecommendedReport",
+    "ReportKind",
+    "Stakeholder",
+    "StakeholderProfile",
+    "profile_for",
+]

@@ -1,0 +1,120 @@
+"""The INDICE querying engine.
+
+"To select and explore the dataset under analysis, INDICE implements a
+query engine that lets the user focus on the single attributes of the
+energy performance certificates ... with the possibility to set manually
+the subset of features and parameters for the queries to which she is
+interested in." (paper, Section 2.2.1.)
+
+A :class:`Query` is a declarative description — attribute projection,
+predicate filter, sort, limit, and optional group-by aggregation — that
+:class:`QueryEngine` executes against any table.  Queries are plain
+objects, so stakeholder profiles can recommend them and dashboards can
+re-run them at different granularities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from ..dataset.table import Table
+from .predicates import Predicate
+
+__all__ = ["Query", "QueryEngine", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A declarative selection over an EPC table.
+
+    All clauses are optional; an empty query returns the table unchanged.
+    """
+
+    select: tuple[str, ...] = ()
+    where: Predicate | None = None
+    sort_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+
+    def with_filter(self, predicate: Predicate) -> "Query":
+        """This query with an additional AND-ed predicate."""
+        combined = predicate if self.where is None else (self.where & predicate)
+        return replace(self, where=combined)
+
+    def with_select(self, *attributes: str) -> "Query":
+        """This query with the projection replaced."""
+        return replace(self, select=tuple(attributes))
+
+    def with_limit(self, limit: int) -> "Query":
+        """This query with a row limit."""
+        return replace(self, limit=limit)
+
+    def with_sort(self, attribute: str, descending: bool = False) -> "Query":
+        """This query sorted by *attribute*."""
+        return replace(self, sort_by=attribute, descending=descending)
+
+
+@dataclass
+class QueryResult:
+    """The rows a query selected, plus how the selection narrowed."""
+
+    table: Table
+    n_input_rows: int
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self.table.n_rows
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of input rows that survived the filter."""
+        if self.n_input_rows == 0:
+            return 0.0
+        return self.n_rows / self.n_input_rows
+
+
+class QueryEngine:
+    """Executes :class:`Query` objects against a table."""
+
+    def __init__(self, table: Table):
+        self._table = table
+
+    @property
+    def table(self) -> Table:
+        """The table this engine queries."""
+        return self._table
+
+    def execute(self, query: Query) -> QueryResult:
+        """Run *query*: filter -> sort -> limit -> project."""
+        out = self._table
+        if query.where is not None:
+            out = out.where(query.where.mask(out))
+        if query.sort_by is not None:
+            out = out.sort_by(query.sort_by, descending=query.descending)
+        if query.limit is not None:
+            out = out.head(query.limit)
+        if query.select:
+            out = out.select(list(query.select))
+        return QueryResult(table=out, n_input_rows=self._table.n_rows)
+
+    def aggregate(
+        self,
+        query: Query,
+        by: str,
+        attribute: str,
+        func: Callable[[np.ndarray], float] = np.mean,
+    ) -> dict[object, float]:
+        """Filter with *query*, then aggregate *attribute* per group of *by*.
+
+        This is the drill-down primitive the choropleth maps use: "each
+        area is colored according to the average value of the considered
+        variable" (paper, Section 2.3).
+        """
+        filtered = self._table
+        if query.where is not None:
+            filtered = filtered.where(query.where.mask(filtered))
+        return filtered.aggregate(by, attribute, func)

@@ -1,0 +1,211 @@
+"""Predicate expressions for the INDICE query engine.
+
+The querying engine "lets the user focus on the single attributes of the
+energy performance certificates" (paper, Section 2.2.1).  Queries filter a
+:class:`~repro.dataset.table.Table` with composable predicates; every
+predicate knows how to evaluate itself to a boolean row mask.
+
+Missing values never satisfy a comparison (SQL-like three-valued logic
+collapsed to False), except :class:`IsMissing`, which selects them.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.table import ColumnKind, Table
+from ..geo.regions import Granularity, RegionHierarchy
+
+__all__ = [
+    "Predicate",
+    "Comparison",
+    "Between",
+    "OneOf",
+    "IsMissing",
+    "And",
+    "Or",
+    "Not",
+    "WithinRegion",
+]
+
+_OPERATORS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate(ABC):
+    """A boolean row filter over a table."""
+
+    @abstractmethod
+    def mask(self, table: Table) -> np.ndarray:
+        """The boolean mask of rows satisfying this predicate."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass
+class Comparison(Predicate):
+    """``attribute <op> value`` where op is one of == != < <= > >=.
+
+    Order comparisons require a numeric attribute; equality works for any
+    kind.  ``attribute != value`` is False for missing cells (they are
+    neither equal nor unequal — they are unknown).
+    """
+
+    attribute: str
+    op: str
+    value: object
+
+    def __post_init__(self):
+        if self.op not in _OPERATORS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def mask(self, table: Table) -> np.ndarray:
+        """The boolean mask of rows satisfying this predicate."""
+        col = table.column(self.attribute)
+        fn = _OPERATORS[self.op]
+        if col.kind is ColumnKind.NUMERIC:
+            values = col.values
+            with np.errstate(invalid="ignore"):
+                out = fn(values, float(self.value))
+            return np.asarray(out, dtype=bool) & ~np.isnan(values)
+        if self.op not in ("==", "!="):
+            raise ValueError(
+                f"operator {self.op!r} needs a numeric attribute, "
+                f"{self.attribute!r} is {col.kind.value}"
+            )
+        target = str(self.value)
+        return np.asarray(
+            [v is not None and fn(v, target) for v in col.values], dtype=bool
+        )
+
+
+@dataclass
+class Between(Predicate):
+    """``low <= attribute <= high`` over a numeric attribute."""
+
+    attribute: str
+    low: float
+    high: float
+
+    def mask(self, table: Table) -> np.ndarray:
+        """The boolean mask of rows satisfying this predicate."""
+        values = table.column(self.attribute).values
+        with np.errstate(invalid="ignore"):
+            out = (values >= self.low) & (values <= self.high)
+        return np.asarray(out, dtype=bool) & ~np.isnan(values)
+
+
+@dataclass
+class OneOf(Predicate):
+    """``attribute IN (values...)`` over a categorical/text attribute."""
+
+    attribute: str
+    values: tuple
+
+    def mask(self, table: Table) -> np.ndarray:
+        """The boolean mask of rows satisfying this predicate."""
+        col = table.column(self.attribute)
+        allowed = {str(v) for v in self.values}
+        if col.kind is ColumnKind.NUMERIC:
+            allowed_f = {float(v) for v in self.values}
+            return np.asarray(
+                [not np.isnan(v) and float(v) in allowed_f for v in col.values],
+                dtype=bool,
+            )
+        return np.asarray(
+            [v is not None and v in allowed for v in col.values], dtype=bool
+        )
+
+
+@dataclass
+class IsMissing(Predicate):
+    """Selects rows where the attribute is missing."""
+
+    attribute: str
+
+    def mask(self, table: Table) -> np.ndarray:
+        """The boolean mask of rows satisfying this predicate."""
+        return table.column(self.attribute).is_missing()
+
+
+@dataclass
+class And(Predicate):
+    """Conjunction of two predicates."""
+    left: Predicate
+    right: Predicate
+
+    def mask(self, table: Table) -> np.ndarray:
+        """The boolean mask of rows satisfying this predicate."""
+        return self.left.mask(table) & self.right.mask(table)
+
+
+@dataclass
+class Or(Predicate):
+    """Disjunction of two predicates."""
+    left: Predicate
+    right: Predicate
+
+    def mask(self, table: Table) -> np.ndarray:
+        """The boolean mask of rows satisfying this predicate."""
+        return self.left.mask(table) | self.right.mask(table)
+
+
+@dataclass
+class Not(Predicate):
+    """Negation of a predicate."""
+    inner: Predicate
+
+    def mask(self, table: Table) -> np.ndarray:
+        """The boolean mask of rows satisfying this predicate."""
+        return ~self.inner.mask(table)
+
+
+@dataclass
+class WithinRegion(Predicate):
+    """Rows geolocated inside a named administrative region.
+
+    This is the spatial drill-down filter behind the paper's "analysis of
+    the buildings related to a specific area of the city".  Rows with
+    missing coordinates never match.
+    """
+
+    hierarchy: RegionHierarchy
+    level: Granularity
+    name: str
+
+    def mask(self, table: Table) -> np.ndarray:
+        """The boolean mask of rows satisfying this predicate."""
+        region = next(
+            (r for r in self.hierarchy.regions_at(self.level) if r.name == self.name),
+            None,
+        )
+        if region is None:
+            raise ValueError(f"unknown {self.level.name.lower()} region {self.name!r}")
+        lat = table["latitude"]
+        lon = table["longitude"]
+        lo_lat, lo_lon, hi_lat, hi_lon = region.bounding_box()
+        out = np.zeros(table.n_rows, dtype=bool)
+        for i in range(table.n_rows):
+            if np.isnan(lat[i]) or np.isnan(lon[i]):
+                continue
+            if not (lo_lat <= lat[i] <= hi_lat and lo_lon <= lon[i] <= hi_lon):
+                continue
+            out[i] = region.contains(float(lat[i]), float(lon[i]))
+        return out

@@ -1,0 +1,236 @@
+"""Stakeholder profiles and their recommended reports.
+
+"Possible stakeholders may be citizens, public administration and energy
+scientists.  Each of them could be interested in different characteristics
+of the dataset under analysis.  For each stakeholder, INDICE produces the
+best possible representation ... the system is able to automatically
+propose to the specific end-user an optimal set of interesting reports and
+graphical representations" (paper, Section 2.2.1).
+
+Each profile bundles:
+
+* the attributes that stakeholder typically inspects,
+* the default spatial granularity of their maps,
+* a set of named :class:`RecommendedReport` entries (which query to run
+  and which visualization kind shows it best).
+
+The user can always override everything — these are defaults, exactly as
+in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..dataset.schema import PAPER_CLUSTERING_FEATURES, PAPER_RESPONSE
+from ..geo.regions import Granularity
+from .engine import Query
+from .predicates import Comparison
+
+__all__ = ["Stakeholder", "RecommendedReport", "StakeholderProfile", "profile_for"]
+
+
+class Stakeholder(enum.Enum):
+    """The three end-user categories the paper names."""
+
+    CITIZEN = "citizen"
+    PUBLIC_ADMINISTRATION = "public_administration"
+    ENERGY_SCIENTIST = "energy_scientist"
+
+
+class ReportKind(enum.Enum):
+    """Which dashboard component renders the report."""
+
+    CHOROPLETH_MAP = "choropleth_map"
+    SCATTER_MAP = "scatter_map"
+    CLUSTER_MARKER_MAP = "cluster_marker_map"
+    FREQUENCY_DISTRIBUTION = "frequency_distribution"
+    RULES_TABLE = "rules_table"
+    CORRELATION_MATRIX = "correlation_matrix"
+    SUMMARY_TABLE = "summary_table"
+
+
+@dataclass(frozen=True)
+class RecommendedReport:
+    """One suggested analysis: a query plus the visualization for it."""
+
+    name: str
+    description: str
+    kind: ReportKind
+    query: Query
+    attribute: str
+    granularity: Granularity
+
+
+@dataclass(frozen=True)
+class StakeholderProfile:
+    """The default analysis surface offered to one stakeholder."""
+
+    stakeholder: Stakeholder
+    description: str
+    default_attributes: tuple[str, ...]
+    default_granularity: Granularity
+    reports: tuple[RecommendedReport, ...] = field(default_factory=tuple)
+
+    def report(self, name: str) -> RecommendedReport:
+        """The recommended report named *name*."""
+        for r in self.reports:
+            if r.name == name:
+                return r
+        raise KeyError(f"no recommended report named {name!r}")
+
+
+def _residential_query() -> Query:
+    """The paper's case-study selection: permanent-residence units (E.1.1)."""
+    return Query(where=Comparison("building_type", "==", "E.1.1"))
+
+
+def _citizen_profile() -> StakeholderProfile:
+    """Citizens: find efficient areas / flats worth buying (paper's wording:
+    'discover areas of the city with more performing buildings')."""
+    return StakeholderProfile(
+        stakeholder=Stakeholder.CITIZEN,
+        description=(
+            "Energy analysis of buildings in a specific area; geometric "
+            "features per intended use; find well-performing flats."
+        ),
+        default_attributes=("eph", "energy_class", "u_value_windows", "heated_surface"),
+        default_granularity=Granularity.NEIGHBOURHOOD,
+        reports=(
+            RecommendedReport(
+                "efficient_areas",
+                "Average heating demand per neighbourhood (lower = better)",
+                ReportKind.CHOROPLETH_MAP,
+                _residential_query(),
+                PAPER_RESPONSE,
+                Granularity.NEIGHBOURHOOD,
+            ),
+            RecommendedReport(
+                "unit_efficiency",
+                "Per-certificate heating demand in the chosen area",
+                ReportKind.SCATTER_MAP,
+                _residential_query(),
+                PAPER_RESPONSE,
+                Granularity.UNIT,
+            ),
+            RecommendedReport(
+                "class_distribution",
+                "How energy classes distribute in the chosen area",
+                ReportKind.FREQUENCY_DISTRIBUTION,
+                _residential_query(),
+                "energy_class",
+                Granularity.NEIGHBOURHOOD,
+            ),
+        ),
+    )
+
+
+def _pa_profile() -> StakeholderProfile:
+    """Public administration: 'identifying areas where to promote and
+    invest for energy renovations' (the Section 3 case study)."""
+    return StakeholderProfile(
+        stakeholder=Stakeholder.PUBLIC_ADMINISTRATION,
+        description=(
+            "Identify low-performance areas to target renovation policies "
+            "and incentives."
+        ),
+        default_attributes=PAPER_CLUSTERING_FEATURES + (PAPER_RESPONSE,),
+        default_granularity=Granularity.DISTRICT,
+        reports=(
+            RecommendedReport(
+                "renovation_targets",
+                "Cluster-marker map of building groups by energy performance",
+                ReportKind.CLUSTER_MARKER_MAP,
+                _residential_query(),
+                PAPER_RESPONSE,
+                Granularity.DISTRICT,
+            ),
+            RecommendedReport(
+                "demand_overview",
+                "Average heating demand per district",
+                ReportKind.CHOROPLETH_MAP,
+                _residential_query(),
+                PAPER_RESPONSE,
+                Granularity.DISTRICT,
+            ),
+            RecommendedReport(
+                "worst_envelopes",
+                "Certificates with the most dispersive opaque envelopes",
+                ReportKind.SCATTER_MAP,
+                _residential_query().with_filter(
+                    Comparison("u_value_opaque", ">", 0.8)
+                ),
+                "u_value_opaque",
+                Granularity.NEIGHBOURHOOD,
+            ),
+            RecommendedReport(
+                "demand_drivers",
+                "Association rules linking envelope classes to demand",
+                ReportKind.RULES_TABLE,
+                _residential_query(),
+                PAPER_RESPONSE,
+                Granularity.CITY,
+            ),
+        ),
+    )
+
+
+def _scientist_profile() -> StakeholderProfile:
+    """Energy scientists: benchmarking groups of similar buildings through
+    supervised and unsupervised techniques."""
+    return StakeholderProfile(
+        stakeholder=Stakeholder.ENERGY_SCIENTIST,
+        description=(
+            "Characterize groups of buildings with similar properties for "
+            "benchmarking analysis."
+        ),
+        default_attributes=PAPER_CLUSTERING_FEATURES + (PAPER_RESPONSE,),
+        default_granularity=Granularity.CITY,
+        reports=(
+            RecommendedReport(
+                "feature_eligibility",
+                "Pairwise correlations of candidate clustering features",
+                ReportKind.CORRELATION_MATRIX,
+                _residential_query(),
+                PAPER_RESPONSE,
+                Granularity.CITY,
+            ),
+            RecommendedReport(
+                "building_groups",
+                "K-means groups over thermo-physical features",
+                ReportKind.CLUSTER_MARKER_MAP,
+                _residential_query(),
+                PAPER_RESPONSE,
+                Granularity.CITY,
+            ),
+            RecommendedReport(
+                "group_distributions",
+                "Response distribution inside each cluster",
+                ReportKind.FREQUENCY_DISTRIBUTION,
+                _residential_query(),
+                PAPER_RESPONSE,
+                Granularity.CITY,
+            ),
+            RecommendedReport(
+                "summary_statistics",
+                "Count/mean/std/quartiles per selected attribute",
+                ReportKind.SUMMARY_TABLE,
+                _residential_query(),
+                PAPER_RESPONSE,
+                Granularity.CITY,
+            ),
+        ),
+    )
+
+
+_PROFILES = {
+    Stakeholder.CITIZEN: _citizen_profile,
+    Stakeholder.PUBLIC_ADMINISTRATION: _pa_profile,
+    Stakeholder.ENERGY_SCIENTIST: _scientist_profile,
+}
+
+
+def profile_for(stakeholder: Stakeholder) -> StakeholderProfile:
+    """The default profile of *stakeholder*."""
+    return _PROFILES[stakeholder]()

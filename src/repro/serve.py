@@ -1,0 +1,121 @@
+"""A minimal dashboard server.
+
+The paper plans "to release our framework INDICE in order to have real
+feed-backs from end-users (e.g., citizens, energy experts, public
+administration)".  This module is that release surface, kept deliberately
+small: a standard-library HTTP server exposing the analyzed collection as
+
+* ``/`` — an index linking every stakeholder's dashboard;
+* ``/dashboard/<stakeholder>`` — the navigable multi-zoom dashboard;
+* ``/report`` — the plain-language analysis report.
+
+Routing is a pure function (:meth:`DashboardServer.route`), so the whole
+surface is unit-testable without sockets; the socket layer is a thin
+``http.server`` wrapper.  Dashboards are rendered lazily and cached —
+the analysis itself is not re-run per request.
+"""
+
+from __future__ import annotations
+
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from xml.sax.saxutils import escape
+
+from .core.engine import Indice
+from .core.report import generate_report
+from .query.stakeholders import Stakeholder
+
+__all__ = ["DashboardServer"]
+
+_INDEX_TEMPLATE = """<!DOCTYPE html><html><head><meta charset='utf-8'>
+<title>INDICE</title><style>
+body {{ font-family: sans-serif; margin: 40px; color: #1c2733; }}
+a {{ color: #225588; }} li {{ margin: 6px 0; }}
+</style></head><body>
+<h1>INDICE — {city}</h1>
+<p>{n_rows} certificates analyzed. Pick a view:</p>
+<ul>{links}</ul>
+<p><a href="/report">Plain-language analysis report</a></p>
+</body></html>"""
+
+
+class DashboardServer:
+    """Serves one analyzed :class:`~repro.core.engine.Indice` session."""
+
+    def __init__(self, engine: Indice):
+        self._engine = engine
+        self._analytics = engine._require_analyzed()  # fail fast if not run
+        self._cache: dict[str, str] = {}
+
+    # -- pure routing -------------------------------------------------------
+
+    def route(self, path: str) -> tuple[int, str, str]:
+        """Resolve *path* to ``(status, content_type, body)``."""
+        path = path.rstrip("/") or "/"
+        if path == "/":
+            return 200, "text/html; charset=utf-8", self._index()
+        if path == "/report":
+            return 200, "text/html; charset=utf-8", self._report()
+        if path.startswith("/dashboard/"):
+            name = path.removeprefix("/dashboard/")
+            try:
+                stakeholder = Stakeholder(name)
+            except ValueError:
+                return 404, "text/plain; charset=utf-8", f"unknown stakeholder {name!r}"
+            return 200, "text/html; charset=utf-8", self._dashboard(stakeholder)
+        return 404, "text/plain; charset=utf-8", f"no route for {path!r}"
+
+    # -- content (cached) -----------------------------------------------------
+
+    def _index(self) -> str:
+        links = "".join(
+            f'<li><a href="/dashboard/{s.value}">'
+            f"{escape(s.value.replace('_', ' ').title())} dashboard</a></li>"
+            for s in Stakeholder
+        )
+        return _INDEX_TEMPLATE.format(
+            city=escape(self._engine.config.city),
+            n_rows=self._analytics.table.n_rows,
+            links=links,
+        )
+
+    def _dashboard(self, stakeholder: Stakeholder) -> str:
+        key = f"dash:{stakeholder.value}"
+        if key not in self._cache:
+            nav = self._engine.build_navigable_dashboard(stakeholder)
+            self._cache[key] = nav.to_html()
+        return self._cache[key]
+
+    def _report(self) -> str:
+        if "report" not in self._cache:
+            markdown = generate_report(self._engine)
+            self._cache["report"] = (
+                "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+                "<title>INDICE report</title></head><body>"
+                f"<pre style='font-family: sans-serif; white-space: pre-wrap; "
+                f"max-width: 80ch; margin: 40px auto;'>{escape(markdown)}</pre>"
+                "</body></html>"
+            )
+        return self._cache["report"]
+
+    # -- socket layer -----------------------------------------------------------
+
+    def serve(self, host: str = "127.0.0.1", port: int = 8350) -> None:
+        """Serve forever (Ctrl-C to stop)."""
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (http.server API)
+                status, content_type, body = server.route(self.path)
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, fmt, *args):
+                print(f"[indice] {self.address_string()} {fmt % args}")
+
+        with HTTPServer((host, port), Handler) as httpd:
+            print(f"INDICE dashboards at http://{host}:{port}/ (Ctrl-C to stop)")
+            httpd.serve_forever()

@@ -1,0 +1,24 @@
+"""Text substrate: Levenshtein similarity and address normalization."""
+
+from .levenshtein import best_match, distance, distance_within, similarity
+from .normalize import (
+    ABBREVIATIONS,
+    canonical_house_number,
+    expand_abbreviations,
+    normalize_address,
+    split_house_number,
+    strip_accents,
+)
+
+__all__ = [
+    "best_match",
+    "distance",
+    "distance_within",
+    "similarity",
+    "ABBREVIATIONS",
+    "canonical_house_number",
+    "expand_abbreviations",
+    "normalize_address",
+    "split_house_number",
+    "strip_accents",
+]

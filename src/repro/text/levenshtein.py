@@ -1,0 +1,152 @@
+"""Levenshtein edit distance and the similarity score used by INDICE.
+
+The geospatial cleaning step (paper, Section 2.1.1) compares each address in
+the EPC collection against a referenced street map.  For each pair of
+addresses the Levenshtein distance [19] counts the minimum number of
+single-character insertions, deletions and substitutions turning one string
+into the other; the *similarity* derived from it "takes values in the range
+[0-1], where 0 indicates total dissimilarity and 1 equality".
+
+We normalize by the longer string's length::
+
+    similarity(a, b) = 1 - distance(a, b) / max(len(a), len(b))
+
+which satisfies exactly that contract (1 iff the strings are equal, 0 iff
+they share no aligned characters at all).
+
+The implementation is a two-row dynamic program with an optional cut-off
+band: when the caller only cares whether the similarity clears a threshold
+``phi`` (the INDICE acceptance test), rows whose minimum already exceeds the
+implied distance budget abort early.
+"""
+
+from __future__ import annotations
+
+__all__ = ["distance", "similarity", "distance_within", "best_match"]
+
+
+def distance(a: str, b: str) -> int:
+    """The Levenshtein edit distance between *a* and *b*.
+
+    >>> distance("corso duca", "corso duca")
+    0
+    >>> distance("via roma", "via rome")
+    1
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):  # keep the inner loop over the longer string
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    current = [0] * (len(b) + 1)
+    for i, ca in enumerate(a, start=1):
+        current[0] = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(
+                previous[j] + 1,       # deletion
+                current[j - 1] + 1,    # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+        previous, current = current, previous
+    return previous[len(b)]
+
+
+def distance_within(a: str, b: str, budget: int) -> int | None:
+    """The edit distance if it does not exceed *budget*, else ``None``.
+
+    A length-difference pre-check and an early-abort row scan make this much
+    cheaper than :func:`distance` when most candidates are far away, which is
+    the common case when scanning a street gazetteer.
+    """
+    if budget < 0:
+        return None
+    if a == b:
+        return 0
+    if abs(len(a) - len(b)) > budget:
+        return None
+    if not a or not b:
+        d = max(len(a), len(b))
+        return d if d <= budget else None
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    current = [0] * (len(b) + 1)
+    for i, ca in enumerate(a, start=1):
+        current[0] = i
+        row_min = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + cost,
+            )
+            if current[j] < row_min:
+                row_min = current[j]
+        if row_min > budget:
+            return None
+        previous, current = current, previous
+    d = previous[len(b)]
+    return d if d <= budget else None
+
+
+def similarity(a: str, b: str) -> float:
+    """Levenshtein similarity in [0, 1]; 1 means equality.
+
+    >>> similarity("via roma", "via roma")
+    1.0
+    >>> similarity("abc", "xyz")
+    0.0
+    """
+    if a == b:
+        return 1.0
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - distance(a, b) / longest
+
+
+def _distance_budget(a: str, b: str, phi: float) -> int:
+    """The largest edit distance for which similarity(a, b) >= phi."""
+    longest = max(len(a), len(b))
+    return int((1.0 - phi) * longest + 1e-9)
+
+
+def similarity_at_least(a: str, b: str, phi: float) -> float | None:
+    """The similarity if it is >= *phi*, else ``None`` (computed with cut-off)."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    d = distance_within(a, b, _distance_budget(a, b, phi))
+    if d is None:
+        return None
+    sim = 1.0 - d / longest
+    return sim if sim >= phi else None
+
+
+def best_match(query: str, candidates: list[str], phi: float = 0.0) -> tuple[int, float] | None:
+    """The index and similarity of the candidate most similar to *query*.
+
+    Only candidates with similarity >= *phi* qualify; returns ``None`` when
+    no candidate clears the threshold.  Ties keep the first candidate, which
+    makes gazetteer lookups deterministic.
+    """
+    best_index = -1
+    best_sim = phi
+    found = False
+    for i, cand in enumerate(candidates):
+        sim = similarity_at_least(query, cand, best_sim)
+        if sim is None:
+            continue
+        if not found or sim > best_sim:
+            best_index, best_sim, found = i, sim, True
+            if best_sim == 1.0:
+                break
+    if not found:
+        return None
+    return best_index, best_sim

@@ -1,0 +1,133 @@
+"""Normalization of Italian street addresses.
+
+Address fields in EPC collections are free text typed by certifiers (paper,
+Section 2.1.1): they mix abbreviations (``C.SO`` / ``CORSO``), accents,
+case, punctuation and token order.  Comparing raw strings with Levenshtein
+distance would punish these harmless variations as heavily as real typos, so
+INDICE canonicalizes both the EPC addresses and the referenced street map
+before matching.
+
+Normalization is deliberately conservative: it never tries to *fix* typos
+(that is the matcher's job) — it only removes representational noise.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+__all__ = [
+    "normalize_address",
+    "expand_abbreviations",
+    "strip_accents",
+    "split_house_number",
+    "ABBREVIATIONS",
+]
+
+#: Common Italian odonym abbreviations -> canonical form.
+ABBREVIATIONS = {
+    "c.so": "corso",
+    "cso": "corso",
+    "c.so.": "corso",
+    "v.": "via",
+    "v.le": "viale",
+    "vle": "viale",
+    "p.za": "piazza",
+    "p.zza": "piazza",
+    "pza": "piazza",
+    "pzza": "piazza",
+    "p.le": "piazzale",
+    "ple": "piazzale",
+    "l.go": "largo",
+    "lgo": "largo",
+    "str.": "strada",
+    "str": "strada",
+    "vic.": "vicolo",
+    "vic": "vicolo",
+    "b.go": "borgo",
+    "bgo": "borgo",
+    "s.": "san",
+    "s.ta": "santa",
+    "s.to": "santo",
+    "ss.": "santi",
+    "f.lli": "fratelli",
+    "gen.": "generale",
+    "cav.": "cavaliere",
+    "ing.": "ingegnere",
+    "dott.": "dottore",
+    "prof.": "professore",
+}
+
+_PUNCT_RE = re.compile(r"[,;:/\\\-_'\"()]+")
+_SPACES_RE = re.compile(r"\s+")
+_HOUSE_NUMBER_RE = re.compile(r"^(\d+)\s*(?:(bis|ter|quater)|([a-z]))?$", re.IGNORECASE)
+_TRAILING_NUMBER_RE = re.compile(
+    r"[\s,]+(?:n\.?|n°|civ\.?|civico)?\s*(\d+\s*(?:bis|ter|quater|[a-z])?)\s*$",
+    re.IGNORECASE,
+)
+
+
+def strip_accents(text: str) -> str:
+    """Remove diacritics: ``'Nizza Millefonti è' -> 'Nizza Millefonti e'``."""
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def expand_abbreviations(text: str) -> str:
+    """Expand known odonym abbreviations token by token (input lowercase)."""
+    tokens = text.split()
+    return " ".join(ABBREVIATIONS.get(tok, tok) for tok in tokens)
+
+
+def normalize_address(text: str | None) -> str:
+    """Canonical form of a street address.
+
+    Lowercases, strips accents, expands abbreviations, removes punctuation
+    and squeezes whitespace.  Returns ``""`` for missing input.
+
+    >>> normalize_address("C.SO Duca degli Abruzzi")
+    'corso duca degli abruzzi'
+    """
+    if not text:
+        return ""
+    out = strip_accents(text).lower().strip()
+    # expand dotted abbreviations before stripping punctuation
+    out = expand_abbreviations(out)
+    out = _PUNCT_RE.sub(" ", out)
+    out = expand_abbreviations(out)  # catch forms exposed by punctuation removal
+    out = _SPACES_RE.sub(" ", out).strip()
+    return out
+
+
+def split_house_number(address: str) -> tuple[str, str | None]:
+    """Split a trailing civic number off a free-text address.
+
+    Returns ``(street_part, house_number_or_None)``.  Handles the common
+    Italian forms ``"via roma 12"``, ``"via roma, 12bis"``, ``"via roma n. 12"``.
+
+    >>> split_house_number("via roma, 12 bis")
+    ('via roma', '12bis')
+    """
+    m = _TRAILING_NUMBER_RE.search(address)
+    if not m:
+        return address.strip(" ,"), None
+    street = address[: m.start()].strip(" ,")
+    number = re.sub(r"\s+", "", m.group(1)).lower()
+    return street, number
+
+
+def canonical_house_number(raw: str | None) -> str | None:
+    """Canonical civic number: digits plus an optional lowercase suffix.
+
+    ``'12 BIS' -> '12bis'``; returns ``None`` when *raw* has no leading digits.
+    """
+    if not raw:
+        return None
+    compact = re.sub(r"\s+", "", str(raw)).lower().strip()
+    m = _HOUSE_NUMBER_RE.match(compact)
+    if not m:
+        digits = re.match(r"^(\d+)", compact)
+        return digits.group(1) if digits else None
+    number, word_suffix, letter_suffix = m.groups()
+    suffix = word_suffix or letter_suffix or ""
+    return f"{number}{suffix}"

@@ -1,0 +1,194 @@
+"""Tests for the CART regression tree and the discretizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.cart import RegressionTree
+from repro.analytics.discretize import (
+    Discretization,
+    discretize_attribute,
+    discretize_table,
+)
+from repro.dataset.table import Column, ColumnKind, Table
+
+
+def step_data(n=600, seed=0):
+    """x uniform on [0, 3); y is a 3-level staircase + small noise."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 3, n)
+    y = np.select([x < 1, x < 2], [0.0, 10.0], 20.0) + rng.normal(0, 0.5, n)
+    return x, y
+
+
+class TestRegressionTree:
+    def test_recovers_staircase_splits(self):
+        x, y = step_data()
+        tree = RegressionTree(min_samples_leaf=20, max_leaves=3).fit(x, y)
+        thresholds = tree.thresholds(0)
+        assert len(thresholds) == 2
+        assert abs(thresholds[0] - 1.0) < 0.15
+        assert abs(thresholds[1] - 2.0) < 0.15
+
+    def test_predictions_near_level_means(self):
+        x, y = step_data()
+        tree = RegressionTree(min_samples_leaf=20, max_leaves=3).fit(x, y)
+        pred = tree.predict(np.array([0.5, 1.5, 2.5]))
+        assert pred[0] == pytest.approx(0.0, abs=0.5)
+        assert pred[1] == pytest.approx(10.0, abs=0.5)
+        assert pred[2] == pytest.approx(20.0, abs=0.5)
+
+    def test_depth_first_respects_max_depth(self):
+        x, y = step_data()
+        tree = RegressionTree(max_depth=1, min_samples_leaf=5).fit(x, y)
+        assert tree.depth() <= 1
+        assert tree.n_leaves() <= 2
+
+    def test_best_first_respects_max_leaves(self):
+        x, y = step_data()
+        tree = RegressionTree(max_leaves=4, min_samples_leaf=5).fit(x, y)
+        assert tree.n_leaves() <= 4
+
+    def test_min_samples_leaf_respected(self):
+        x, y = step_data(100)
+        tree = RegressionTree(min_samples_leaf=40, max_leaves=10).fit(x, y)
+        # walk leaves: every leaf must hold >= 40 samples
+        for node in tree._walk():
+            if node.is_leaf:
+                assert node.n_samples >= 40
+
+    def test_constant_response_single_leaf(self):
+        x = np.arange(100.0)
+        y = np.full(100, 5.0)
+        tree = RegressionTree(max_leaves=4).fit(x, y)
+        assert tree.n_leaves() == 1
+        assert tree.predict(np.array([50.0]))[0] == 5.0
+
+    def test_nan_rows_dropped_in_fit(self):
+        x, y = step_data()
+        x[0] = np.nan
+        y[1] = np.nan
+        tree = RegressionTree(max_leaves=3).fit(x, y)
+        assert tree.root.n_samples == len(x) - 2
+
+    def test_nan_prediction(self):
+        x, y = step_data()
+        tree = RegressionTree(max_leaves=3).fit(x, y)
+        assert np.isnan(tree.predict(np.array([np.nan]))[0])
+
+    def test_all_nan_fit_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.full(10, np.nan), np.arange(10.0))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.arange(5.0), np.arange(6.0))
+
+    def test_2d_features(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (400, 2))
+        y = np.where(x[:, 1] > 0.5, 10.0, 0.0)  # only feature 1 matters
+        tree = RegressionTree(max_leaves=2, min_samples_leaf=20).fit(x, y)
+        assert tree.root.feature == 1
+        assert abs(tree.root.threshold - 0.5) < 0.1
+
+    def test_min_impurity_decrease_blocks_noise_splits(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, 300)
+        y = rng.normal(0, 1, 300)  # pure noise
+        strict = RegressionTree(max_leaves=8, min_impurity_decrease=50.0).fit(x, y)
+        assert strict.n_leaves() < 8
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.array([1.0]))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_deeper_tree_never_fits_worse(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, 200)
+        y = np.sin(x * 6) + rng.normal(0, 0.1, 200)
+        sse = []
+        for leaves in (2, 4, 8):
+            tree = RegressionTree(max_leaves=leaves, min_samples_leaf=5, max_depth=10).fit(x, y)
+            residual = y - tree.predict(x)
+            sse.append(float(np.sum(residual**2)))
+        assert sse[0] >= sse[1] >= sse[2]
+
+
+class TestDiscretization:
+    def test_labels_default_3(self):
+        d = Discretization("a", (0.0, 1.0, 2.0, 3.0))
+        assert d.labels == ("Low", "medium", "High")
+
+    def test_labels_default_4(self):
+        d = Discretization("a", (0.0, 1.0, 2.0, 3.0, 4.0))
+        assert d.labels == ("Low", "medium", "High", "Very high")
+
+    def test_labels_fallback(self):
+        d = Discretization("a", tuple(float(i) for i in range(7)))
+        assert d.labels == ("C1", "C2", "C3", "C4", "C5", "C6")
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Discretization("a", (1.0, 0.0))
+
+    def test_label_of_boundaries(self):
+        d = Discretization("a", (0.0, 1.0, 2.0, 3.0))
+        assert d.label_of(0.0) == "Low"
+        assert d.label_of(1.0) == "Low"     # first interval is closed
+        assert d.label_of(1.0001) == "medium"
+        assert d.label_of(2.0) == "medium"
+        assert d.label_of(3.0) == "High"
+
+    def test_label_of_clamps_outside(self):
+        d = Discretization("a", (0.0, 1.0, 2.0))
+        assert d.label_of(-5.0) == "Low"
+        assert d.label_of(99.0) == "High"
+
+    def test_label_of_nan(self):
+        d = Discretization("a", (0.0, 1.0, 2.0))
+        assert d.label_of(float("nan")) is None
+
+    def test_describe_format(self):
+        d = Discretization("u_w", (1.1, 2.05, 2.45, 3.35, 5.5))
+        text = d.describe()
+        assert text.startswith("Low = [1.1, 2.05]")
+        assert "Very high = (3.35, 5.5]" in text
+
+    def test_discretize_attribute_staircase(self):
+        x, y = step_data()
+        d = discretize_attribute(x, y, n_classes=3, attribute="x")
+        assert d.n_classes == 3
+        assert abs(d.thresholds[0] - 1.0) < 0.15
+        assert abs(d.thresholds[1] - 2.0) < 0.15
+
+    def test_fewer_classes_when_unsupported(self):
+        # constant attribute: no split possible
+        x = np.full(200, 1.0)
+        y = np.arange(200.0)
+        d = discretize_attribute(x, y, n_classes=3)
+        assert d.n_classes == 1
+
+    def test_invalid_n_classes(self):
+        with pytest.raises(ValueError):
+            discretize_attribute(np.arange(10.0), np.arange(10.0), n_classes=1)
+
+    def test_discretize_table_replaces_columns(self):
+        x, y = step_data()
+        table = Table(
+            [Column.numeric("x", x), Column.numeric("resp", y)]
+        )
+        out, discs = discretize_table(table, {"x": 3}, response="resp")
+        assert out.kind("x") is ColumnKind.CATEGORICAL
+        assert out.kind("resp") is ColumnKind.NUMERIC
+        assert set(out.column("x").unique()) <= {"Low", "medium", "High"}
+        assert "x" in discs
+
+    def test_apply_matches_label_of(self):
+        x, y = step_data()
+        d = discretize_attribute(x, y, n_classes=3)
+        labels = d.apply(x[:20])
+        assert labels == [d.label_of(v) for v in x[:20]]

@@ -1,0 +1,362 @@
+"""Tests for the geocoder simulation, the address cleaner and the expert store."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    NoiseConfig,
+    SyntheticConfig,
+    apply_noise,
+    generate_epc_collection,
+    generate_street_map,
+)
+from repro.dataset.table import Column, ColumnKind, Table
+from repro.geo.distance import equirectangular_km
+from repro.preprocessing.address_cleaner import (
+    AddressCleaner,
+    CleaningConfig,
+    MatchStatus,
+)
+from repro.preprocessing.expert_store import (
+    BUILTIN_DEFAULT,
+    ExpertConfigStore,
+    ExpertConfiguration,
+)
+from repro.preprocessing.geocoder import (
+    GeocodeStatus,
+    QuotaExceededError,
+    SimulatedGeocoder,
+)
+from repro.preprocessing.outliers import OutlierMethod
+
+
+@pytest.fixture(scope="module")
+def gazetteer():
+    street_map, hierarchy = generate_street_map(seed=7, streets_per_neighbourhood=6)
+    return street_map, hierarchy
+
+
+def geo_table(rows):
+    """Build a minimal table with the five geospatial attributes."""
+    return Table(
+        [
+            Column.text("address", [r.get("address") for r in rows]),
+            Column.text("house_number", [r.get("house_number") for r in rows]),
+            Column.categorical("zip_code", [r.get("zip_code") for r in rows]),
+            Column.numeric("latitude", [r.get("latitude") for r in rows]),
+            Column.numeric("longitude", [r.get("longitude") for r in rows]),
+        ]
+    )
+
+
+class TestSimulatedGeocoder:
+    def test_exact_address_resolves(self, gazetteer):
+        street_map, _ = gazetteer
+        rec = street_map.records[0]
+        geocoder = SimulatedGeocoder(street_map, error_rate=0.0)
+        response = geocoder.geocode(rec.street, rec.house_number)
+        assert response.status == GeocodeStatus.OK
+        assert response.record.street == rec.street
+        assert response.record.house_number == rec.house_number
+
+    def test_corrupted_address_recovered(self, gazetteer):
+        street_map, _ = gazetteer
+        rec = street_map.records[0]
+        corrupted = rec.street.replace("a", "e", 1) + " xq"
+        geocoder = SimulatedGeocoder(street_map, error_rate=0.0)
+        response = geocoder.geocode(corrupted)
+        assert response.status == GeocodeStatus.OK
+        assert response.record.street == rec.street
+
+    def test_garbage_not_found(self, gazetteer):
+        street_map, _ = gazetteer
+        geocoder = SimulatedGeocoder(street_map, error_rate=0.0)
+        assert geocoder.geocode("qqq zzz xxx").status == GeocodeStatus.NOT_FOUND
+
+    def test_empty_address_not_found_and_counted(self, gazetteer):
+        street_map, _ = gazetteer
+        geocoder = SimulatedGeocoder(street_map)
+        assert geocoder.geocode("").status == GeocodeStatus.NOT_FOUND
+        assert geocoder.requests_made == 1
+
+    def test_quota_enforced(self, gazetteer):
+        street_map, _ = gazetteer
+        geocoder = SimulatedGeocoder(street_map, quota=2)
+        geocoder.geocode("via x")
+        geocoder.geocode("via y")
+        with pytest.raises(QuotaExceededError):
+            geocoder.geocode("via z")
+        assert geocoder.remaining_quota == 0
+
+    def test_error_rate_returns_wrong_street_sometimes(self, gazetteer):
+        street_map, _ = gazetteer
+        rec = street_map.records[0]
+        geocoder = SimulatedGeocoder(street_map, quota=10_000, error_rate=1.0, seed=3)
+        response = geocoder.geocode(rec.street)
+        assert response.status == GeocodeStatus.OK
+        # with error_rate=1 every response is drawn at random: over a few
+        # requests at least one must differ from the truth
+        streets = {geocoder.geocode(rec.street).record.street for __ in range(10)}
+        assert any(s != rec.street for s in streets)
+
+    def test_house_number_from_field_overrides_embedded(self, gazetteer):
+        street_map, _ = gazetteer
+        recs = street_map.records_by_street()
+        street, civics = next(
+            (s, r) for s, r in recs.items() if len(r) >= 3
+        )
+        geocoder = SimulatedGeocoder(street_map, error_rate=0.0)
+        response = geocoder.geocode(street, house_number=civics[2].house_number)
+        assert response.record.house_number == civics[2].house_number
+
+
+class TestAddressCleaner:
+    def test_exact_match(self, gazetteer):
+        street_map, _ = gazetteer
+        rec = street_map.records[0]
+        cleaner = AddressCleaner(street_map, CleaningConfig(use_geocoder=False))
+        street, status, sim = cleaner.resolve_street(rec.street)
+        assert status is MatchStatus.EXACT
+        assert street == rec.street
+        assert sim == 1.0
+
+    def test_normalization_handles_abbreviation(self, gazetteer):
+        street_map, _ = gazetteer
+        rec = next(r for r in street_map.records if r.street.startswith("corso "))
+        abbreviated = rec.street.replace("corso ", "C.so ").upper()
+        cleaner = AddressCleaner(street_map, CleaningConfig(use_geocoder=False))
+        street, status, __ = cleaner.resolve_street(abbreviated)
+        assert status is MatchStatus.EXACT
+        assert street == rec.street
+
+    def test_typo_within_phi_matched(self, gazetteer):
+        street_map, _ = gazetteer
+        rec = street_map.records[0]
+        typo = rec.street[:-1] + ("x" if rec.street[-1] != "x" else "y")
+        cleaner = AddressCleaner(street_map, CleaningConfig(phi=0.8, use_geocoder=False))
+        street, status, sim = cleaner.resolve_street(typo)
+        assert status is MatchStatus.MATCHED
+        assert street == rec.street
+        assert sim >= 0.8
+
+    def test_below_phi_unresolved_without_geocoder(self, gazetteer):
+        street_map, _ = gazetteer
+        cleaner = AddressCleaner(street_map, CleaningConfig(use_geocoder=False))
+        street, status, __ = cleaner.resolve_street("zzzz qqqq jjjj")
+        assert street is None
+        assert status is MatchStatus.UNRESOLVED
+
+    def test_missing_address_skipped(self, gazetteer):
+        street_map, _ = gazetteer
+        cleaner = AddressCleaner(street_map, CleaningConfig(use_geocoder=False))
+        __, status, ___ = cleaner.resolve_street(None)
+        assert status is MatchStatus.SKIPPED
+
+    def test_phi_validation(self, gazetteer):
+        street_map, _ = gazetteer
+        with pytest.raises(ValueError):
+            AddressCleaner(street_map, CleaningConfig(phi=1.5))
+
+    def test_clean_table_repairs_zip_and_coords(self, gazetteer):
+        street_map, _ = gazetteer
+        rec = street_map.records[0]
+        table = geo_table(
+            [
+                {
+                    "address": rec.street,
+                    "house_number": rec.house_number,
+                    "zip_code": "99999",           # wrong
+                    "latitude": rec.latitude + 1.0,  # ~110 km off
+                    "longitude": rec.longitude,
+                }
+            ]
+        )
+        cleaner = AddressCleaner(street_map, CleaningConfig(use_geocoder=False))
+        report = cleaner.clean_table(table)
+        out = report.table
+        assert out["zip_code"][0] == rec.zip_code
+        assert out["latitude"][0] == pytest.approx(rec.latitude)
+        audit = report.audits[0]
+        assert "zip_code" in audit.repaired_fields
+        assert "coordinates" in audit.repaired_fields
+
+    def test_clean_table_reconstructs_missing_fields(self, gazetteer):
+        street_map, _ = gazetteer
+        rec = street_map.records[0]
+        table = geo_table(
+            [{"address": rec.street, "house_number": None, "zip_code": None,
+              "latitude": None, "longitude": None}]
+        )
+        cleaner = AddressCleaner(street_map, CleaningConfig(use_geocoder=False))
+        out = cleaner.clean_table(table).table
+        assert out["house_number"][0] is not None
+        assert out["zip_code"][0] == rec.zip_code
+        assert not np.isnan(out["latitude"][0])
+
+    def test_close_coordinates_kept(self, gazetteer):
+        """Coordinates within tolerance must NOT be overwritten."""
+        street_map, _ = gazetteer
+        rec = street_map.records[0]
+        near_lat = rec.latitude + 0.0005  # ~55 m
+        table = geo_table(
+            [{"address": rec.street, "house_number": rec.house_number,
+              "zip_code": rec.zip_code, "latitude": near_lat,
+              "longitude": rec.longitude}]
+        )
+        cleaner = AddressCleaner(street_map, CleaningConfig(use_geocoder=False))
+        report = cleaner.clean_table(table)
+        assert report.table["latitude"][0] == pytest.approx(near_lat)
+        assert "coordinates" not in report.audits[0].repaired_fields
+
+    def test_unresolved_row_left_untouched(self, gazetteer):
+        street_map, _ = gazetteer
+        table = geo_table(
+            [{"address": "qqq www zzz", "house_number": "3", "zip_code": "00000",
+              "latitude": 45.0, "longitude": 7.6}]
+        )
+        cleaner = AddressCleaner(street_map, CleaningConfig(use_geocoder=False))
+        report = cleaner.clean_table(table)
+        assert report.audits[0].status is MatchStatus.UNRESOLVED
+        assert report.table["zip_code"][0] == "00000"
+
+    def test_geocoder_fallback_used_only_for_unresolved(self, gazetteer):
+        street_map, _ = gazetteer
+        rec = street_map.records[0]
+        geocoder = SimulatedGeocoder(street_map, quota=10, error_rate=0.0)
+        rows = [
+            {"address": rec.street, "house_number": rec.house_number,
+             "zip_code": rec.zip_code, "latitude": rec.latitude,
+             "longitude": rec.longitude},
+            # scrambled beyond phi but token-recoverable: reversed word order
+            {"address": " ".join(reversed(rec.street.split())) + " qx",
+             "house_number": rec.house_number, "zip_code": None,
+             "latitude": None, "longitude": None},
+        ]
+        cleaner = AddressCleaner(street_map, CleaningConfig(phi=0.9), geocoder)
+        report = cleaner.clean_table(geo_table(rows))
+        statuses = [a.status for a in report.audits]
+        assert statuses[0] is MatchStatus.EXACT
+        assert statuses[1] is MatchStatus.GEOCODED
+        assert report.geocoder_requests == 1
+
+    def test_quota_exhaustion_reported(self, gazetteer):
+        street_map, _ = gazetteer
+        geocoder = SimulatedGeocoder(street_map, quota=0)
+        rows = [{"address": "zzz qqq", "house_number": None, "zip_code": None,
+                 "latitude": None, "longitude": None}]
+        cleaner = AddressCleaner(street_map, CleaningConfig(), geocoder)
+        report = cleaner.clean_table(geo_table(rows))
+        assert report.geocoder_quota_exhausted
+        assert report.audits[0].status is MatchStatus.UNRESOLVED
+
+    def test_end_to_end_recovery_rate(self):
+        """The cleaner must repair most injected corruption (E2's core claim)."""
+        collection = generate_epc_collection(SyntheticConfig(n_certificates=1500, seed=4))
+        noisy = apply_noise(collection, NoiseConfig(seed=9))
+        turin_mask = np.array([c == "Turin" for c in noisy.table["city"]])
+        turin = noisy.table.where(turin_mask)
+        turin_rows = np.flatnonzero(turin_mask)
+
+        cleaner = AddressCleaner(
+            collection.street_map,
+            CleaningConfig(),
+            SimulatedGeocoder(collection.street_map, quota=2500, error_rate=0.0),
+        )
+        report = cleaner.clean_table(turin)
+        assert report.resolution_rate() > 0.95
+
+        # resolved rows should carry the true gazetteer street back
+        correct = 0
+        resolved = 0
+        for audit in report.audits:
+            if audit.status in (MatchStatus.EXACT, MatchStatus.MATCHED, MatchStatus.GEOCODED):
+                resolved += 1
+                truth = collection.street_map.records[
+                    collection.gazetteer_index[turin_rows[audit.row]]
+                ]
+                if report.table["address"][audit.row] == truth.street:
+                    correct += 1
+        assert correct / resolved > 0.97
+
+    def test_coordinate_repair_fixes_gross_errors(self):
+        collection = generate_epc_collection(SyntheticConfig(n_certificates=1000, seed=4))
+        noisy = apply_noise(collection, NoiseConfig(seed=9))
+        gross_rows = {
+            ev.row for ev in noisy.events
+            if ev.kind == "gross_error" and ev.attribute == "latitude"
+        }
+        turin_mask = np.array([c == "Turin" for c in noisy.table["city"]])
+        turin_rows = np.flatnonzero(turin_mask)
+        cleaner = AddressCleaner(collection.street_map, CleaningConfig(use_geocoder=False))
+        report = cleaner.clean_table(noisy.table.where(turin_mask))
+        fixed = 0
+        total = 0
+        for local_i, global_i in enumerate(turin_rows):
+            if global_i in gross_rows:
+                audit = report.audits[local_i]
+                if audit.status is MatchStatus.UNRESOLVED:
+                    continue
+                total += 1
+                truth = collection.street_map.records[collection.gazetteer_index[global_i]]
+                d = equirectangular_km(
+                    float(report.table["latitude"][local_i]),
+                    float(report.table["longitude"][local_i]),
+                    truth.latitude, truth.longitude,
+                )
+                if d < 1.0:
+                    fixed += 1
+        assert total > 0
+        assert fixed == total
+
+
+class TestExpertStore:
+    def test_builtin_default_when_empty(self, tmp_path):
+        store = ExpertConfigStore(tmp_path / "store.json")
+        suggestion = store.suggest("u_value_opaque")
+        assert suggestion.method is BUILTIN_DEFAULT.method
+        assert suggestion.expert == "builtin"
+
+    def test_most_frequent_wins(self):
+        store = ExpertConfigStore()
+        store.record_choice("eta_h", OutlierMethod.MAD, {"cutoff": 3.5}, "alice")
+        store.record_choice("eta_h", OutlierMethod.MAD, {"cutoff": 3.5}, "bob")
+        store.record_choice("eta_h", OutlierMethod.GESD, {"alpha": 0.05}, "carol")
+        suggestion = store.suggest("eta_h")
+        assert suggestion.method is OutlierMethod.MAD
+        assert suggestion.params_dict() == {"cutoff": 3.5}
+
+    def test_fallback_to_global_history(self):
+        store = ExpertConfigStore()
+        store.record_choice("eta_h", OutlierMethod.GESD, {"alpha": 0.05})
+        suggestion = store.suggest("u_value_windows")
+        assert suggestion.method is OutlierMethod.GESD
+        assert suggestion.attribute == "u_value_windows"
+
+    def test_tie_breaks_toward_recency(self):
+        store = ExpertConfigStore()
+        store.record_choice("eta_h", OutlierMethod.MAD)
+        store.record_choice("eta_h", OutlierMethod.GESD)
+        assert store.suggest("eta_h").method is OutlierMethod.GESD
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = ExpertConfigStore(path)
+        store.record_choice("eta_h", OutlierMethod.BOXPLOT, {"whisker": 1.5}, "alice")
+        reloaded = ExpertConfigStore(path)
+        assert len(reloaded) == 1
+        suggestion = reloaded.suggest("eta_h")
+        assert suggestion.method is OutlierMethod.BOXPLOT
+        assert suggestion.params_dict() == {"whisker": 1.5}
+
+    def test_suggest_all_covers_tracked(self):
+        store = ExpertConfigStore()
+        suggestions = store.suggest_all()
+        assert "u_value_opaque" in suggestions
+        assert all(s.method for s in suggestions.values())
+
+    def test_history_filter(self):
+        store = ExpertConfigStore()
+        store.record_choice("a", OutlierMethod.MAD)
+        store.record_choice("b", OutlierMethod.MAD)
+        assert len(store.history("a")) == 1
+        assert len(store.history()) == 2

@@ -1,0 +1,99 @@
+"""Property-based tests for address cleaning recovery guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import generate_street_map
+from repro.preprocessing.address_cleaner import AddressCleaner, CleaningConfig, MatchStatus
+from repro.text.levenshtein import similarity
+from repro.text.normalize import normalize_address
+
+
+@pytest.fixture(scope="module")
+def setup():
+    street_map, hierarchy = generate_street_map(seed=5, streets_per_neighbourhood=8)
+    cleaner = AddressCleaner(street_map, CleaningConfig(phi=0.8, use_geocoder=False))
+    return street_map, cleaner
+
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def apply_edits(rng, text, n_edits):
+    chars = list(text)
+    for __ in range(n_edits):
+        op = rng.integers(0, 3)
+        pos = int(rng.integers(0, max(len(chars), 1)))
+        if op == 0 and chars:
+            chars[pos % len(chars)] = _ALPHABET[rng.integers(0, 26)]
+        elif op == 1 and len(chars) > 1:
+            del chars[pos % len(chars)]
+        else:
+            chars.insert(pos % (len(chars) + 1), _ALPHABET[rng.integers(0, 26)])
+    return "".join(chars)
+
+
+class TestRecoveryProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_single_edit_always_recovered(self, setup, seed):
+        """One typo on a street of >= 10 chars keeps similarity >= 0.9,
+        far above phi=0.8 — the cleaner must resolve it to SOME street
+        with at least that similarity (usually the true one)."""
+        street_map, cleaner = setup
+        rng = np.random.default_rng(seed)
+        streets = street_map.street_names()
+        truth = streets[rng.integers(0, len(streets))]
+        assume(len(truth) >= 10)
+        corrupted = apply_edits(rng, truth, 1)
+        resolved, status, sim = cleaner.resolve_street(corrupted)
+        assert status in (MatchStatus.EXACT, MatchStatus.MATCHED)
+        assert resolved is not None
+        # whatever the match, it is at least as similar as the truth
+        assert sim >= similarity(normalize_address(corrupted), truth) - 1e-9
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_resolution_never_invents_streets(self, setup, seed):
+        """Any resolved street must exist in the gazetteer."""
+        street_map, cleaner = setup
+        rng = np.random.default_rng(seed)
+        streets = set(street_map.street_names())
+        truth = list(streets)[rng.integers(0, len(streets))]
+        corrupted = apply_edits(rng, truth, int(rng.integers(0, 6)))
+        resolved, status, __ = cleaner.resolve_street(corrupted)
+        if resolved is not None:
+            assert resolved in streets
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_similarity_reported_matches_definition(self, setup, seed):
+        """The similarity the cleaner reports equals the Levenshtein
+        similarity between the normalized query and the matched street."""
+        street_map, cleaner = setup
+        rng = np.random.default_rng(seed)
+        streets = street_map.street_names()
+        truth = streets[rng.integers(0, len(streets))]
+        corrupted = apply_edits(rng, truth, int(rng.integers(1, 4)))
+        resolved, status, sim = cleaner.resolve_street(corrupted)
+        if status is MatchStatus.MATCHED:
+            expected = similarity(normalize_address(corrupted), resolved)
+            assert sim == pytest.approx(expected)
+            assert sim >= 0.8  # phi respected
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_unresolved_means_no_candidate_above_phi(self, setup, seed):
+        """UNRESOLVED is a promise: no gazetteer street clears phi."""
+        street_map, cleaner = setup
+        rng = np.random.default_rng(seed)
+        streets = street_map.street_names()
+        truth = streets[rng.integers(0, len(streets))]
+        corrupted = apply_edits(rng, truth, 10)  # heavy corruption
+        resolved, status, __ = cleaner.resolve_street(corrupted)
+        if status is MatchStatus.UNRESOLVED:
+            normalized = normalize_address(corrupted)
+            best = max(similarity(normalized, s) for s in streets)
+            assert best < 0.8

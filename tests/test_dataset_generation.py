@@ -1,0 +1,252 @@
+"""Tests for the synthetic EPC collection: schema, street map, generator, noise."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    ERA_REGIMES,
+    GEO_ATTRIBUTES,
+    PAPER_CLUSTERING_FEATURES,
+    PAPER_RESPONSE,
+    ColumnKind,
+    NoiseConfig,
+    SyntheticConfig,
+    apply_noise,
+    epc_schema,
+    generate_epc_collection,
+    generate_street_map,
+)
+from repro.geo.regions import Granularity
+from repro.text.normalize import normalize_address
+
+
+@pytest.fixture(scope="module")
+def small_collection():
+    return generate_epc_collection(SyntheticConfig(n_certificates=3000, seed=11))
+
+
+@pytest.fixture(scope="module")
+def noisy(small_collection):
+    return apply_noise(small_collection, NoiseConfig(seed=5))
+
+
+class TestSchema:
+    def test_paper_attribute_counts(self):
+        schema = epc_schema()
+        assert len(schema) == 132
+        assert len(schema.quantitative_names()) == 43
+        assert len(schema.categorical_names()) == 89
+
+    def test_paper_features_present(self):
+        schema = epc_schema()
+        for name in PAPER_CLUSTERING_FEATURES + (PAPER_RESPONSE,) + GEO_ATTRIBUTES:
+            assert name in schema
+
+    def test_spec_lookup_and_unknown(self):
+        schema = epc_schema()
+        assert schema.spec("eph").unit == "kWh/m2y"
+        with pytest.raises(KeyError):
+            schema.spec("nonexistent")
+
+    def test_validate_numeric_bounds(self):
+        spec = epc_schema().spec("eta_h")
+        assert spec.validate_value(0.8)
+        assert not spec.validate_value(9.0)
+        assert spec.validate_value(None)
+        assert spec.validate_value(float("nan"))
+
+    def test_validate_categorical_vocabulary(self):
+        spec = epc_schema().spec("energy_class")
+        assert spec.validate_value("A4")
+        assert not spec.validate_value("Z")
+
+    def test_kinds_cover_all(self):
+        schema = epc_schema()
+        assert set(schema.kinds()) == set(schema.names)
+
+
+class TestStreetMap:
+    def test_deterministic(self):
+        a, _ = generate_street_map(seed=3, streets_per_neighbourhood=5)
+        b, _ = generate_street_map(seed=3, streets_per_neighbourhood=5)
+        assert a.records == b.records
+
+    def test_seed_changes_layout(self):
+        a, _ = generate_street_map(seed=3, streets_per_neighbourhood=5)
+        b, _ = generate_street_map(seed=4, streets_per_neighbourhood=5)
+        assert a.records != b.records
+
+    def test_streets_are_normalized(self):
+        sm, _ = generate_street_map(seed=3, streets_per_neighbourhood=5)
+        for name in sm.street_names()[:50]:
+            assert name == normalize_address(name)
+
+    def test_records_inside_their_neighbourhood(self):
+        sm, hierarchy = generate_street_map(seed=3, streets_per_neighbourhood=5)
+        by_name = {r.name: r for r in hierarchy.neighbourhoods}
+        for rec in sm.records[::97]:
+            region = by_name[rec.neighbourhood]
+            assert region.contains(rec.latitude, rec.longitude)
+
+    def test_zip_unique_per_neighbourhood(self):
+        sm, _ = generate_street_map(seed=3, streets_per_neighbourhood=5)
+        zips_per_n: dict[str, set] = {}
+        for rec in sm.records:
+            zips_per_n.setdefault(rec.neighbourhood, set()).add(rec.zip_code)
+        assert all(len(z) == 1 for z in zips_per_n.values())
+
+    def test_hierarchy_shape(self):
+        _, h = generate_street_map(seed=3, streets_per_neighbourhood=5)
+        assert len(h.districts) == 8
+        assert len(h.neighbourhoods) == 26
+        assert all(n.parent in {d.name for d in h.districts} for n in h.neighbourhoods)
+
+
+class TestGenerator:
+    def test_row_and_column_counts(self, small_collection):
+        assert small_collection.n_certificates == 3000
+        assert small_collection.table.n_columns == 132
+
+    def test_deterministic(self):
+        a = generate_epc_collection(SyntheticConfig(n_certificates=200, seed=9))
+        b = generate_epc_collection(SyntheticConfig(n_certificates=200, seed=9))
+        assert a.table.column("eph") == b.table.column("eph")
+        assert a.era_labels == b.era_labels
+
+    def test_values_respect_schema_bounds(self, small_collection):
+        schema = small_collection.schema
+        table = small_collection.table
+        for name in ("aspect_ratio", "u_value_opaque", "u_value_windows", "eta_h", "eph"):
+            spec = schema.spec(name)
+            values = table.column(name).non_missing()
+            assert values.min() >= spec.lo
+            assert values.max() <= spec.hi
+
+    def test_categorical_vocabularies_respected(self, small_collection):
+        schema = small_collection.schema
+        table = small_collection.table
+        for name in ("energy_class", "heating_fuel", "building_type", "glazing_type"):
+            spec = schema.spec(name)
+            observed = set(table.column(name).non_missing())
+            assert observed <= set(spec.categories)
+
+    def test_turin_rows_have_gazetteer_backing(self, small_collection):
+        c = small_collection
+        cities = c.table["city"]
+        for i in range(0, c.n_certificates, 211):
+            if cities[i] == "Turin":
+                assert c.gazetteer_index[i] >= 0
+                rec = c.street_map.records[c.gazetteer_index[i]]
+                assert c.table["address"][i] == rec.street
+                assert c.table["zip_code"][i] == rec.zip_code
+            else:
+                assert c.gazetteer_index[i] == -1
+
+    def test_turin_share(self, small_collection):
+        cities = small_collection.table["city"]
+        share = sum(1 for c in cities if c == "Turin") / len(cities)
+        assert 0.65 < share < 0.75
+
+    def test_e11_share(self, small_collection):
+        types = small_collection.table["building_type"]
+        share = sum(1 for t in types if t == "E.1.1") / len(types)
+        assert 0.55 < share < 0.70
+
+    def test_era_labels_cover_rows(self, small_collection):
+        assert len(small_collection.era_labels) == small_collection.n_certificates
+        assert set(small_collection.era_labels) <= {r.name for r in ERA_REGIMES}
+
+    def test_eph_ordered_by_era(self, small_collection):
+        """The planted physics: older eras consume more (paper's premise)."""
+        table = small_collection.table
+        eras = np.array(small_collection.era_labels)
+        eph = table["eph"]
+        means = [float(eph[eras == r.name].mean()) for r in ERA_REGIMES]
+        assert means == sorted(means, reverse=True)
+
+    def test_weak_feature_correlations(self, small_collection):
+        """Figure 3 premise: the five clustering features are weakly correlated."""
+        m = small_collection.table.to_matrix(list(PAPER_CLUSTERING_FEATURES))
+        corr = np.corrcoef(m, rowvar=False)
+        off_diag = corr[~np.eye(len(corr), dtype=bool)]
+        assert np.abs(off_diag).max() < 0.5
+
+    def test_construction_period_consistent_with_year(self, small_collection):
+        table = small_collection.table
+        years = table["year_of_construction"]
+        periods = table["construction_period"]
+        for i in range(0, len(years), 173):
+            if periods[i] == "after 2005":
+                assert years[i] > 2005
+            if periods[i] == "before 1918":
+                assert years[i] <= 1918
+
+    def test_turin_coordinates_inside_city(self, small_collection):
+        c = small_collection
+        city_region = c.hierarchy.city
+        lat, lon = c.table["latitude"], c.table["longitude"]
+        for i in range(0, c.n_certificates, 157):
+            if c.table["city"][i] == "Turin":
+                assert city_region.contains(float(lat[i]), float(lon[i]))
+
+    def test_district_assignment_matches_column(self, small_collection):
+        c = small_collection
+        turin_rows = [i for i in range(0, c.n_certificates, 301) if c.table["city"][i] == "Turin"]
+        lat = c.table["latitude"][turin_rows]
+        lon = c.table["longitude"][turin_rows]
+        assigned = c.hierarchy.assign(lat, lon, Granularity.DISTRICT)
+        stored = [c.table["district"][i] for i in turin_rows]
+        assert assigned == stored
+
+
+class TestNoise:
+    def test_original_untouched(self, small_collection, noisy):
+        # the clean table must not share corrupted buffers with the dirty one;
+        # events chain per cell, so only the FIRST event's original matches the
+        # clean value (a typo may be followed by an abbreviation event).
+        clean_addr = small_collection.table["address"]
+        seen_rows: set[int] = set()
+        checked = 0
+        for ev in noisy.events:
+            if ev.attribute == "address" and ev.row not in seen_rows:
+                seen_rows.add(ev.row)
+                assert clean_addr[ev.row] == ev.original
+                checked += 1
+                if checked >= 50:
+                    break
+        assert checked > 0
+
+    def test_events_describe_real_changes(self, small_collection, noisy):
+        table = noisy.table
+        for ev in noisy.events[:200]:
+            kind = table.kind(ev.attribute)
+            value = table[ev.attribute][ev.row]
+            if ev.corrupted is None:
+                if kind is ColumnKind.NUMERIC:
+                    assert np.isnan(value)
+                else:
+                    assert value is None
+
+    def test_deterministic(self, small_collection):
+        a = apply_noise(small_collection, NoiseConfig(seed=5))
+        b = apply_noise(small_collection, NoiseConfig(seed=5))
+        assert len(a.events) == len(b.events)
+        assert a.table.column("address") == b.table.column("address")
+
+    def test_noise_rates_in_expected_range(self, noisy, small_collection):
+        n = small_collection.n_certificates
+        by_kind = noisy.events_by_kind()
+        assert 0.10 * n < len(by_kind["typo"]) < 0.25 * n
+        assert len(by_kind.get("outlier", [])) > 0
+
+    def test_rows_touched_filter(self, noisy):
+        addr_rows = noisy.rows_touched("address")
+        assert addr_rows <= noisy.rows_touched()
+
+    def test_outliers_are_extreme(self, small_collection, noisy):
+        for ev in noisy.events_by_kind().get("outlier", [])[:50]:
+            ratio = ev.corrupted / ev.original
+            assert any(ratio == pytest.approx(f) for f in (10.0, 100.0, 0.1))
+
+    def test_schema_order_preserved(self, small_collection, noisy):
+        assert noisy.table.column_names == small_collection.table.column_names

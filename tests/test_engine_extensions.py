@@ -1,0 +1,85 @@
+"""Tests for engine extensions: per-attribute outlier overrides and
+per-group rule mining."""
+
+import numpy as np
+import pytest
+
+from repro import Indice, IndiceConfig
+from repro.dataset import SyntheticConfig, generate_epc_collection
+from repro.preprocessing.outliers import OutlierMethod
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return generate_epc_collection(SyntheticConfig(n_certificates=2000, seed=55))
+
+
+class TestOutlierOverrides:
+    def test_override_changes_method_for_one_attribute(self, collection):
+        engine = Indice(
+            collection,
+            IndiceConfig(
+                outlier_overrides={
+                    "eta_h": (OutlierMethod.GESD, {"max_outliers": 5}),
+                },
+                kmeans_n_init=2,
+                run_multivariate_outliers=False,
+            ),
+        )
+        engine.preprocess()
+        outcome = engine._preprocessed
+        assert outcome.univariate_outliers["eta_h"].method is OutlierMethod.GESD
+        assert outcome.univariate_outliers["eph"].method is OutlierMethod.MAD
+
+    def test_override_recorded_in_provenance(self, collection):
+        engine = Indice(
+            collection,
+            IndiceConfig(
+                outlier_overrides={"eta_h": (OutlierMethod.BOXPLOT, {"whisker": 3.0})},
+                kmeans_n_init=2,
+                run_multivariate_outliers=False,
+            ),
+        )
+        engine.preprocess()
+        steps = [
+            s for s in engine.log.for_stage("preprocessing")
+            if s.action == "univariate_outliers" and s.detail["attribute"] == "eta_h"
+        ]
+        assert steps[0].detail["method"] == "boxplot"
+
+
+class TestRulesByGroup:
+    @pytest.fixture(scope="class")
+    def engine(self, collection):
+        eng = Indice(
+            collection,
+            IndiceConfig(kmeans_n_init=2, k_range=(2, 5),
+                         run_multivariate_outliers=False),
+        )
+        eng.preprocess()
+        eng.analyze()
+        return eng
+
+    def test_rules_per_cluster(self, engine):
+        by_cluster = engine.mine_rules_by_group("cluster", min_group_size=50)
+        assert by_cluster  # at least one cluster is large enough
+        for rules in by_cluster.values():
+            for rule in rules:
+                assert all(i.attribute == "eph" for i in rule.consequent)
+
+    def test_rules_per_district(self, engine):
+        by_district = engine.mine_rules_by_group("district", min_group_size=50)
+        assert by_district
+        assert all(name.startswith("Circoscrizione") for name in by_district)
+
+    def test_small_groups_skipped(self, engine):
+        huge_floor = engine._analyzed.table.n_rows + 1
+        assert engine.mine_rules_by_group("district", min_group_size=huge_floor) == {}
+
+    def test_provenance_records_groups(self, engine):
+        engine.mine_rules_by_group("cluster", min_group_size=50)
+        steps = [
+            s for s in engine.log.for_stage("analytics")
+            if s.action == "rules_by_group"
+        ]
+        assert steps

@@ -1,0 +1,34 @@
+"""Smoke tests running every example script end to end.
+
+These take minutes in total, so they only run when ``RUN_EXAMPLES=1`` is
+set (CI's nightly job, or a release check):
+
+    RUN_EXAMPLES=1 pytest tests/test_examples_smoke.py -q
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("RUN_EXAMPLES") != "1",
+    reason="set RUN_EXAMPLES=1 to run the (slow) example smoke tests",
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    # every example narrates its work
+    assert result.stdout.strip()

@@ -1,0 +1,142 @@
+"""Tests for agglomerative hierarchical clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.hierarchical import agglomerative
+from repro.analytics.kmeans import kmeans
+
+
+def three_blobs(seed=0, n=60, spread=0.25):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [
+            rng.normal((0, 0), spread, (n, 2)),
+            rng.normal((6, 0), spread, (n, 2)),
+            rng.normal((0, 6), spread, (n, 2)),
+        ]
+    )
+
+
+LINKAGES = ("ward", "average", "single", "complete")
+
+
+class TestAgglomerative:
+    @pytest.mark.parametrize("linkage", LINKAGES)
+    def test_recovers_blobs(self, linkage):
+        points = three_blobs()
+        result = agglomerative(points, linkage=linkage)
+        labels = result.cut(3)
+        for start in (0, 60, 120):
+            block = labels[start : start + 60]
+            assert len(set(block.tolist())) == 1
+        assert len(set(labels.tolist())) == 3
+
+    @pytest.mark.parametrize("linkage", LINKAGES)
+    def test_suggest_k_finds_three(self, linkage):
+        result = agglomerative(three_blobs(), linkage=linkage)
+        assert result.suggest_k() == 3
+
+    def test_merge_count(self):
+        points = three_blobs(n=10)
+        result = agglomerative(points)
+        assert len(result.merges) == len(points) - 1
+        assert result.merges[-1].size == len(points)
+
+    def test_cut_extremes(self):
+        points = three_blobs(n=10)
+        result = agglomerative(points)
+        assert len(set(result.cut(1).tolist())) == 1
+        assert len(set(result.cut(len(points)).tolist())) == len(points)
+
+    def test_cut_k_validation(self):
+        result = agglomerative(three_blobs(n=5))
+        with pytest.raises(ValueError):
+            result.cut(0)
+        with pytest.raises(ValueError):
+            result.cut(100)
+
+    def test_monotone_heights_ward(self):
+        """Ward is reducible: sorted merge heights = dendrogram heights,
+        and any cluster's parent merge is at least as high as its own."""
+        result = agglomerative(three_blobs(n=25), linkage="ward")
+        height_of = {}
+        n = result.n_points
+        for i, merge in enumerate(result.merges):
+            for child in (merge.a, merge.b):
+                if child >= n:
+                    assert merge.height >= height_of[child] - 1e-9
+            height_of[n + i] = merge.height
+
+    def test_nan_rows_labelled_minus_one(self):
+        points = three_blobs(n=10)
+        points[0, 0] = np.nan
+        result = agglomerative(points)
+        labels = result.cut(3)
+        assert labels[0] == -1
+        assert len(labels) == len(points)
+        assert (labels[1:] >= 0).all()
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="no complete rows"):
+            agglomerative(np.full((4, 2), np.nan))
+
+    def test_max_points_guard(self):
+        with pytest.raises(ValueError, match="max_points"):
+            agglomerative(np.zeros((20, 2)), max_points=10)
+
+    def test_unknown_linkage(self):
+        with pytest.raises(ValueError, match="linkage"):
+            agglomerative(np.zeros((4, 2)), linkage="centroid")
+
+    def test_not_matrix(self):
+        with pytest.raises(ValueError):
+            agglomerative(np.zeros(5))
+
+    def test_single_point(self):
+        result = agglomerative(np.zeros((1, 2)))
+        assert result.merges == []
+        assert result.cut(1).tolist() == [0]
+        assert result.suggest_k() == 1
+
+    def test_agreement_with_kmeans_on_separated_data(self):
+        """On well-separated blobs, ward cuts and K-means agree (up to
+        label permutation)."""
+        points = three_blobs(seed=5)
+        ward = agglomerative(points, linkage="ward").cut(3)
+        km = kmeans(points, k=3, seed=0).labels
+        # same partition: every ward cluster maps to exactly one kmeans one
+        mapping = {}
+        for w, m in zip(ward, km):
+            mapping.setdefault(w, set()).add(m)
+        assert all(len(v) == 1 for v in mapping.values())
+
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_cut_is_partition(self, seed, k):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 10, (40, 2))
+        result = agglomerative(points)
+        labels = result.cut(k)
+        assert len(set(labels.tolist())) == k
+        assert labels.min() == 0
+        assert labels.max() == k - 1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_cuts_nest(self, seed):
+        """A (k)-cut must refine into the (k+1)-cut: coarser clusters are
+        unions of finer ones."""
+        rng = np.random.default_rng(seed)
+        points = rng.normal(0, 1, (35, 2))
+        result = agglomerative(points)
+        coarse = result.cut(3)
+        fine = result.cut(5)
+        parent_of = {}
+        for c, f in zip(coarse, fine):
+            if f in parent_of:
+                assert parent_of[f] == c
+            else:
+                parent_of[f] = c

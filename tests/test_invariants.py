@@ -1,0 +1,188 @@
+"""Cross-module property-based tests on the system's core invariants.
+
+These complement the per-module tests with randomized checks of the
+relationships the paper's pipeline silently relies on:
+
+* cleaning is idempotent — re-cleaning a cleaned table changes nothing;
+* marker clustering conserves cardinality at every cell size and nests
+  monotonically across zoom levels;
+* rule quality indices satisfy their algebraic identities
+  (support <= confidence, lift > 1 <=> conviction > 1, ...);
+* discretization + labelling round-trips every in-range value into a bin
+  whose interval actually contains it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.apriori import ItemsetMiner, transactions_from_table
+from repro.analytics.discretize import quantile_discretization
+from repro.analytics.rules import RuleConstraints, generate_rules
+from repro.dashboard.markercluster import cluster_markers
+from repro.dataset import SyntheticConfig, generate_epc_collection
+from repro.dataset.noise import NoiseConfig, apply_noise
+from repro.dataset.table import Column, Table
+from repro.geo.regions import Granularity
+from repro.preprocessing import AddressCleaner, CleaningConfig
+
+
+@pytest.fixture(scope="module")
+def cleaned_pair():
+    collection = generate_epc_collection(SyntheticConfig(n_certificates=700, seed=42))
+    noisy = apply_noise(collection, NoiseConfig(seed=8))
+    turin = noisy.table.where(
+        np.array([c == "Turin" for c in noisy.table["city"]])
+    )
+    cleaner = AddressCleaner(collection.street_map, CleaningConfig(use_geocoder=False))
+    once = cleaner.clean_table(turin)
+    twice = cleaner.clean_table(once.table)
+    return once, twice
+
+
+class TestCleaningIdempotence:
+    def test_second_pass_repairs_nothing(self, cleaned_pair):
+        __, twice = cleaned_pair
+        repairs = [a for a in twice.audits if a.repaired_fields]
+        assert not repairs
+
+    def test_second_pass_all_exact_or_unresolved(self, cleaned_pair):
+        once, twice = cleaned_pair
+        from repro.preprocessing import MatchStatus
+
+        for first, second in zip(once.audits, twice.audits):
+            if first.status in (MatchStatus.EXACT, MatchStatus.MATCHED):
+                assert second.status is MatchStatus.EXACT
+
+    def test_tables_identical(self, cleaned_pair):
+        once, twice = cleaned_pair
+        for name in ("address", "house_number", "zip_code", "latitude", "longitude"):
+            assert once.table.column(name) == twice.table.column(name)
+
+
+coords_arrays = st.integers(1, 120).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(45.01, 45.12, allow_nan=False), min_size=n, max_size=n),
+        st.lists(st.floats(7.60, 7.77, allow_nan=False), min_size=n, max_size=n),
+        st.lists(st.floats(10, 300, allow_nan=False), min_size=n, max_size=n),
+    )
+)
+
+
+class TestMarkerClusterProperties:
+    @given(coords_arrays, st.sampled_from([0.3, 0.7, 1.5, 3.0]))
+    @settings(max_examples=40, deadline=None)
+    def test_cardinality_conserved(self, arrays, cell_km):
+        lats, lons, values = (np.asarray(a) for a in arrays)
+        markers = cluster_markers(lats, lons, values, cell_km=cell_km)
+        assert sum(m.count for m in markers) == len(lats)
+
+    @given(coords_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_zoom_monotonicity(self, arrays):
+        lats, lons, values = (np.asarray(a) for a in arrays)
+        counts = [
+            len(cluster_markers(lats, lons, values, g))
+            for g in (Granularity.CITY, Granularity.DISTRICT,
+                      Granularity.NEIGHBOURHOOD, Granularity.UNIT)
+        ]
+        assert counts == sorted(counts)
+
+    @given(coords_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_marker_means_bounded_by_member_values(self, arrays):
+        lats, lons, values = (np.asarray(a) for a in arrays)
+        for marker in cluster_markers(lats, lons, values, Granularity.CITY):
+            members = values[marker.member_indices]
+            assert members.min() - 1e-9 <= marker.mean_value <= members.max() + 1e-9
+
+
+@st.composite
+def categorical_tables(draw):
+    n = draw(st.integers(20, 120))
+    def col(name, options):
+        return Column.categorical(
+            name, [draw(st.sampled_from(options)) for __ in range(n)]
+        )
+    return Table([col("a", ("x", "y")), col("b", ("p", "q", "r")), col("c", ("0", "1"))])
+
+
+class TestRuleIdentities:
+    @given(categorical_tables())
+    @settings(max_examples=25, deadline=None)
+    def test_quality_index_identities(self, table):
+        tx = transactions_from_table(table, ["a", "b", "c"])
+        itemsets = ItemsetMiner(min_support=0.05).mine(tx)
+        rules = generate_rules(
+            itemsets,
+            RuleConstraints(min_support=0.05, min_confidence=0.0,
+                            min_lift=0.0, min_conviction=0.0),
+        )
+        for rule in rules:
+            assert rule.support <= rule.confidence + 1e-12
+            assert 0.0 <= rule.confidence <= 1.0 + 1e-12
+            assert rule.lift >= 0.0
+            # lift > 1 <=> conviction > 1 (both mean positive correlation)
+            if np.isfinite(rule.conviction):
+                assert (rule.lift > 1.0 + 1e-9) == (rule.conviction > 1.0 + 1e-9) or (
+                    abs(rule.lift - 1.0) < 1e-9 or abs(rule.conviction - 1.0) < 1e-9
+                )
+            # support(rule) <= support(antecedent) and <= support(consequent)
+            supp_a = itemsets.supports[tuple(sorted(rule.antecedent))]
+            supp_b = itemsets.supports[tuple(sorted(rule.consequent))]
+            assert rule.support <= supp_a + 1e-12
+            assert rule.support <= supp_b + 1e-12
+
+    @given(categorical_tables())
+    @settings(max_examples=20, deadline=None)
+    def test_rule_symmetry_of_lift(self, table):
+        """lift(A -> B) == lift(B -> A) — lift is symmetric by definition."""
+        tx = transactions_from_table(table, ["a", "b"])
+        itemsets = ItemsetMiner(min_support=0.05).mine(tx)
+        rules = generate_rules(
+            itemsets,
+            RuleConstraints(min_support=0.05, min_confidence=0.0,
+                            min_lift=0.0, min_conviction=0.0),
+        )
+        by_pair = {}
+        for rule in rules:
+            key = tuple(sorted(rule.antecedent + rule.consequent))
+            by_pair.setdefault(key, []).append(rule.lift)
+        for lifts in by_pair.values():
+            assert max(lifts) - min(lifts) < 1e-9
+
+
+class TestDiscretizationRoundTrip:
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=30, max_size=300),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_label_interval_contains_value(self, values, n_classes):
+        values = np.asarray(values)
+        try:
+            disc = quantile_discretization(values, n_classes)
+        except ValueError:
+            return  # all-identical input collapses entirely; rejected upstream
+        for v in values:
+            label = disc.label_of(float(v))
+            i = disc.labels.index(label)
+            lo, hi = disc.edges[i], disc.edges[i + 1]
+            if i == 0:
+                assert lo - 1e-9 <= v <= hi + 1e-9
+            else:
+                assert lo - 1e-9 < v <= hi + 1e-9
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=30, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_quantile_classes_roughly_balanced(self, values):
+        values = np.asarray(values)
+        if len(np.unique(values)) < 10:
+            return
+        disc = quantile_discretization(values, 4)
+        if disc.n_classes < 4:
+            return  # ties collapsed classes; balance is not promised
+        labels = disc.apply(values)
+        counts = [labels.count(lab) for lab in disc.labels]
+        assert min(counts) >= len(values) * 0.10  # no empty quantile class

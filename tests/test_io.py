@@ -1,0 +1,77 @@
+"""Tests for CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.io import read_csv, write_csv
+from repro.dataset.table import Column, ColumnKind, Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        [
+            Column.numeric("x", [1.5, None, 3.25]),
+            Column.numeric("n", [1, 2, None]),
+            Column.categorical("c", ["a", None, "b,with comma"]),
+            Column.text("t", ['quoted "text"', "plain", None]),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_roundtrip_with_explicit_kinds(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        kinds = {n: table.kind(n) for n in table.column_names}
+        back = read_csv(path, kinds=kinds)
+        for name in table.column_names:
+            assert back.column(name) == table.column(name)
+
+    def test_roundtrip_inferred(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back.kind("x") is ColumnKind.NUMERIC
+        assert back.kind("c") is ColumnKind.CATEGORICAL
+        assert back["x"][0] == 1.5
+        assert np.isnan(back["x"][1])
+
+    def test_integral_column_written_without_decimal(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        text = path.read_text()
+        assert ",1," in text.splitlines()[1]  # n column stays integer-looking
+
+    def test_text_columns_forced(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path, text_columns=("t",))
+        assert back.kind("t") is ColumnKind.TEXT
+
+    def test_comma_and_quote_preserved(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back["c"][2] == "b,with comma"
+        assert back["t"][0] == 'quoted "text"'
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        t = read_csv(path)
+        assert t.n_rows == 0
+        assert t.n_columns == 0
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b\n")
+        t = read_csv(path)
+        assert t.n_rows == 0
+        assert t.column_names == ["a", "b"]
+
+    def test_all_missing_column_defaults_categorical(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("a\n\n\n")
+        t = read_csv(path)
+        assert t.kind("a") is ColumnKind.CATEGORICAL

@@ -1,0 +1,173 @@
+"""Tests for the univariate outlier battery (boxplot, gESD, MAD)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocessing.outliers import (
+    MAD_CUTOFF,
+    OutlierMethod,
+    boxplot_outliers,
+    detect_outliers,
+    gesd_outliers,
+    mad_outliers,
+)
+
+
+@pytest.fixture
+def planted():
+    """Normal sample with three planted gross outliers."""
+    rng = np.random.default_rng(42)
+    values = rng.normal(10.0, 1.0, 500)
+    values[10] = 50.0
+    values[200] = -40.0
+    values[333] = 80.0
+    return values
+
+
+ALL_METHODS = [boxplot_outliers, gesd_outliers, mad_outliers]
+
+
+class TestAllMethods:
+    @pytest.mark.parametrize("detector", ALL_METHODS)
+    def test_planted_outliers_found(self, detector, planted):
+        result = detector(planted)
+        flagged = set(result.outlier_indices())
+        assert {10, 200, 333} <= flagged
+
+    @pytest.mark.parametrize("detector", ALL_METHODS)
+    def test_clean_normal_sample_mostly_kept(self, detector):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 1, 1000)
+        result = detector(values)
+        assert result.n_outliers < 0.03 * len(values)
+
+    @pytest.mark.parametrize("detector", ALL_METHODS)
+    def test_nan_never_flagged(self, detector, planted):
+        values = planted.copy()
+        values[5] = np.nan
+        result = detector(values)
+        assert not result.mask[5]
+
+    @pytest.mark.parametrize("detector", ALL_METHODS)
+    def test_all_nan_input(self, detector):
+        result = detector(np.full(10, np.nan))
+        assert result.n_outliers == 0
+
+    @pytest.mark.parametrize("detector", ALL_METHODS)
+    def test_mask_aligned(self, detector, planted):
+        assert detector(planted).mask.shape == planted.shape
+
+    @pytest.mark.parametrize("detector", ALL_METHODS)
+    def test_rejects_2d(self, detector):
+        with pytest.raises(ValueError):
+            detector(np.zeros((3, 3)))
+
+    @pytest.mark.parametrize("detector", ALL_METHODS)
+    def test_inlier_values_excludes_flagged_and_missing(self, detector, planted):
+        values = planted.copy()
+        values[7] = np.nan
+        result = detector(values)
+        inliers = result.inlier_values(values)
+        assert len(inliers) == len(values) - result.n_outliers - 1
+
+
+class TestBoxplot:
+    def test_fences_in_diagnostics(self, planted):
+        d = boxplot_outliers(planted).diagnostics
+        assert d["lower_fence"] < d["q1"] < d["median"] < d["q3"] < d["upper_fence"]
+
+    def test_wider_whisker_flags_fewer(self, planted):
+        narrow = boxplot_outliers(planted, whisker=1.0)
+        wide = boxplot_outliers(planted, whisker=3.0)
+        assert wide.n_outliers <= narrow.n_outliers
+
+    def test_constant_sample_no_outliers(self):
+        assert boxplot_outliers(np.full(50, 3.0)).n_outliers == 0
+
+
+class TestGesd:
+    def test_respects_max_outliers(self, planted):
+        result = gesd_outliers(planted, max_outliers=2)
+        assert result.n_outliers <= 2
+
+    def test_declared_count_rule(self, planted):
+        """n_declared is the LARGEST r with statistic > critical value."""
+        result = gesd_outliers(planted, max_outliers=10)
+        d = result.diagnostics
+        exceed = [
+            i + 1
+            for i, (s, c) in enumerate(zip(d["statistics"], d["critical_values"]))
+            if s > c
+        ]
+        assert d["n_declared"] == (max(exceed) if exceed else 0)
+        assert result.n_outliers == d["n_declared"]
+
+    def test_clean_sample_declares_zero_or_few(self):
+        rng = np.random.default_rng(3)
+        result = gesd_outliers(rng.normal(0, 1, 200), max_outliers=10, alpha=0.01)
+        assert result.n_outliers <= 2
+
+    def test_tiny_sample(self):
+        result = gesd_outliers(np.array([1.0, 2.0, 3.0]), max_outliers=5)
+        assert result.n_outliers == 0
+
+    def test_invalid_max_outliers(self):
+        with pytest.raises(ValueError):
+            gesd_outliers(np.arange(10.0), max_outliers=0)
+
+    def test_constant_sample(self):
+        result = gesd_outliers(np.full(20, 1.0), max_outliers=3)
+        assert result.n_outliers == 0
+
+
+class TestMad:
+    def test_cutoff_is_papers(self):
+        assert MAD_CUTOFF == 3.5
+
+    def test_stricter_cutoff_flags_more(self, planted):
+        strict = mad_outliers(planted, cutoff=2.0)
+        loose = mad_outliers(planted, cutoff=5.0)
+        assert loose.n_outliers <= strict.n_outliers
+
+    def test_zero_mad_falls_back_to_mean_ad(self):
+        # >50% identical values: MAD is 0, fallback must still flag the spike
+        values = np.array([5.0] * 30 + [5.1, 4.9, 100.0])
+        result = mad_outliers(values)
+        assert result.diagnostics["scale"] == "mean_ad"
+        assert 32 in result.outlier_indices()
+
+    def test_constant_sample(self):
+        assert mad_outliers(np.full(10, 2.0)).n_outliers == 0
+
+    def test_robust_to_contamination(self):
+        """MAD keeps working with 20% contamination (its selling point)."""
+        rng = np.random.default_rng(1)
+        values = np.concatenate([rng.normal(0, 1, 400), np.full(100, 500.0)])
+        result = mad_outliers(values)
+        assert (result.outlier_indices() >= 400).all()
+        assert result.n_outliers == 100
+
+
+class TestDispatch:
+    def test_detect_outliers_dispatch(self, planted):
+        for method in OutlierMethod:
+            result = detect_outliers(planted, method)
+            assert result.method is method
+
+    def test_kwargs_forwarded(self, planted):
+        result = detect_outliers(planted, OutlierMethod.BOXPLOT, whisker=5.0)
+        assert result.diagnostics["whisker"] == 5.0
+
+
+class TestAgreementProperty:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_methods_agree_on_gross_outliers(self, seed):
+        """All three detectors must flag a 30-sigma point."""
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, 300)
+        values[0] = 30.0
+        for detector in ALL_METHODS:
+            assert detector(values).mask[0]

@@ -1,0 +1,194 @@
+"""Tests for cluster profiling, the navigable dashboard, dendrogram chart
+and the categorical choropleth."""
+
+import numpy as np
+import pytest
+
+from repro import Granularity, Indice, IndiceConfig, Stakeholder
+from repro.analytics.hierarchical import agglomerative
+from repro.analytics.profiles import profile_clusters
+from repro.dashboard.charts import dendrogram_chart
+from repro.dashboard.dashboard import Dashboard, NavigableDashboard, Panel
+from repro.dashboard.maps import categorical_choropleth_map
+from repro.dataset import SyntheticConfig, generate_epc_collection
+from repro.dataset.streetmap import turin_like_hierarchy
+from repro.dataset.table import Column, Table
+
+
+def cluster_table():
+    rng = np.random.default_rng(0)
+    n = 300
+    cluster = np.array(["0"] * 150 + ["1"] * 150, dtype=object)
+    u_o = np.concatenate([rng.normal(0.3, 0.03, 150), rng.normal(0.95, 0.05, 150)])
+    eta = np.concatenate([rng.normal(0.92, 0.02, 150), rng.normal(0.55, 0.03, 150)])
+    eph = np.concatenate([rng.normal(40, 5, 150), rng.normal(180, 15, 150)])
+    period = ["after 2005"] * 150 + ["before 1918"] * 150
+    return Table(
+        [
+            Column.categorical("cluster", cluster),
+            Column.numeric("u_value_opaque", u_o),
+            Column.numeric("eta_h", eta),
+            Column.numeric("eph", eph),
+            Column.categorical("construction_period", period),
+        ]
+    )
+
+
+class TestClusterProfiles:
+    def test_profiles_ordered_by_response(self):
+        profiles = profile_clusters(
+            cluster_table(), "cluster", ["u_value_opaque", "eta_h"], "eph"
+        )
+        assert [p.cluster for p in profiles] == ["0", "1"]
+        assert profiles[0].response_mean < profiles[1].response_mean
+
+    def test_sizes_and_shares(self):
+        profiles = profile_clusters(
+            cluster_table(), "cluster", ["u_value_opaque"], "eph"
+        )
+        assert all(p.size == 150 for p in profiles)
+        assert sum(p.share for p in profiles) == pytest.approx(1.0)
+
+    def test_z_deviations_signal_the_difference(self):
+        profiles = profile_clusters(
+            cluster_table(), "cluster", ["u_value_opaque", "eta_h"], "eph"
+        )
+        efficient, wasteful = profiles
+        assert efficient.feature_z["u_value_opaque"] < -0.5
+        assert wasteful.feature_z["u_value_opaque"] > 0.5
+
+    def test_response_levels(self):
+        profiles = profile_clusters(
+            cluster_table(), "cluster", ["u_value_opaque"], "eph"
+        )
+        assert profiles[0].response_level == "low demand"
+        assert profiles[1].response_level == "high demand"
+
+    def test_tags_name_the_reasons(self):
+        profiles = profile_clusters(
+            cluster_table(), "cluster", ["u_value_opaque", "eta_h"], "eph"
+        )
+        assert "well-insulated walls" in profiles[0].tag
+        assert "dispersive walls" in profiles[1].tag
+
+    def test_dominant_categories(self):
+        profiles = profile_clusters(
+            cluster_table(), "cluster", ["u_value_opaque"], "eph",
+            categorical_attributes=["construction_period"],
+        )
+        value, share = profiles[1].dominant_categories["construction_period"]
+        assert value == "before 1918"
+        assert share == 1.0
+
+    def test_distinctive_features_sorted(self):
+        profiles = profile_clusters(
+            cluster_table(), "cluster", ["u_value_opaque", "eta_h"], "eph"
+        )
+        distinctive = profiles[0].distinctive_features()
+        assert len(distinctive) == 2
+        assert abs(distinctive[0][1]) >= abs(distinctive[1][1])
+
+    def test_missing_cluster_labels_skipped(self):
+        table = cluster_table()
+        labels = np.array(table["cluster"], dtype=object)
+        labels[:10] = None
+        table = table.with_column(Column.categorical("cluster", labels))
+        profiles = profile_clusters(table, "cluster", ["eta_h"], "eph")
+        assert sum(p.size for p in profiles) == 290
+
+
+class TestDendrogramChart:
+    def test_marks_suggested_k(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack(
+            [rng.normal((0, 0), 0.3, (40, 2)), rng.normal((6, 6), 0.3, (40, 2))]
+        )
+        result = agglomerative(points)
+        svg = dendrogram_chart(result.heights(), suggested_k=result.suggest_k())
+        assert "suggested K = 2" in svg
+        assert "#d73027" in svg  # the suggested cut is highlighted
+
+    def test_empty_heights(self):
+        svg = dendrogram_chart([])
+        assert svg.startswith("<svg")
+
+
+class TestCategoricalChoropleth:
+    def test_regions_colored_by_mode(self):
+        hierarchy = turin_like_hierarchy()
+        modes = {
+            d.name: ("C", 0.5 + 0.05 * i) for i, d in enumerate(hierarchy.districts)
+        }
+        modes[hierarchy.districts[0].name] = ("G", 0.9)
+        render = categorical_choropleth_map(
+            hierarchy, Granularity.DISTRICT, modes, "energy_class"
+        )
+        assert render.svg.count("<polygon") == 8
+        assert "energy_class = G (90%)" in render.svg
+        props = [f["properties"] for f in render.geojson["features"]]
+        assert any(p.get("energy_class") == "G" for p in props)
+
+    def test_missing_region_gray(self):
+        hierarchy = turin_like_hierarchy()
+        render = categorical_choropleth_map(
+            hierarchy, Granularity.DISTRICT, {}, "energy_class"
+        )
+        assert "no data" in render.svg
+
+    def test_unit_level_rejected(self):
+        with pytest.raises(ValueError):
+            categorical_choropleth_map(
+                turin_like_hierarchy(), Granularity.UNIT, {}, "x"
+            )
+
+
+class TestNavigableDashboard:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        collection = generate_epc_collection(
+            SyntheticConfig(n_certificates=1200, seed=17)
+        )
+        eng = Indice(
+            collection,
+            IndiceConfig(kmeans_n_init=2, k_range=(2, 5),
+                         run_multivariate_outliers=False),
+        )
+        eng.preprocess()
+        eng.analyze()
+        return eng
+
+    def test_one_tab_per_granularity(self, engine):
+        nav = engine.build_navigable_dashboard(Stakeholder.PUBLIC_ADMINISTRATION)
+        assert nav.tab_labels() == ["City", "District", "Neighbourhood", "Unit"]
+
+    def test_html_contains_all_tabs_and_script(self, engine):
+        nav = engine.build_navigable_dashboard(
+            Stakeholder.CITIZEN, granularities=(Granularity.CITY, Granularity.UNIT)
+        )
+        html = nav.to_html()
+        assert html.count("tab-body") >= 2
+        assert "showTab" in html
+        assert "data-tab='City'" in html
+
+    def test_first_tab_active(self, engine):
+        nav = engine.build_navigable_dashboard(
+            Stakeholder.CITIZEN, granularities=(Granularity.CITY, Granularity.UNIT)
+        )
+        html = nav.to_html()
+        assert "<div class='tab-body active' data-tab='City'" in html
+
+    def test_save(self, engine, tmp_path):
+        nav = engine.build_navigable_dashboard(
+            Stakeholder.CITIZEN, granularities=(Granularity.DISTRICT,)
+        )
+        path = nav.save(tmp_path / "nav.html")
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_empty_tabs_rejected(self):
+        with pytest.raises(ValueError):
+            NavigableDashboard("t").to_html()
+
+    def test_manual_assembly(self):
+        nav = NavigableDashboard("t", "s")
+        nav.add_tab("A", Dashboard("a", panels=[Panel("p", "c", "<p>x</p>")]))
+        assert "x" in nav.to_html()

@@ -1,0 +1,167 @@
+"""Tests for predicates, the query engine and stakeholder profiles."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.table import Column, Table
+from repro.geo.regions import Granularity, Region, RegionHierarchy
+from repro.query import (
+    Between,
+    Comparison,
+    IsMissing,
+    OneOf,
+    Query,
+    QueryEngine,
+    ReportKind,
+    Stakeholder,
+    WithinRegion,
+    profile_for,
+)
+
+
+@pytest.fixture
+def table():
+    return Table(
+        [
+            Column.numeric("eph", [50.0, 150.0, None, 300.0]),
+            Column.categorical("building_type", ["E.1.1", "E.1.1", "E.2", None]),
+            Column.categorical("energy_class", ["B", "F", "C", "G"]),
+            Column.numeric("latitude", [45.0, 45.0, 46.0, None]),
+            Column.numeric("longitude", [7.0, 7.5, 7.0, 7.0]),
+        ]
+    )
+
+
+class TestComparison:
+    def test_numeric_ops(self, table):
+        assert Comparison("eph", "<", 100).mask(table).tolist() == [True, False, False, False]
+        assert Comparison("eph", ">=", 150).mask(table).tolist() == [False, True, False, True]
+
+    def test_missing_never_matches(self, table):
+        assert not Comparison("eph", "<", 1e9).mask(table)[2]
+        assert not Comparison("eph", "!=", 0).mask(table)[2]
+
+    def test_categorical_equality(self, table):
+        assert Comparison("building_type", "==", "E.1.1").mask(table).tolist() == [
+            True, True, False, False,
+        ]
+
+    def test_categorical_inequality_missing_false(self, table):
+        assert Comparison("building_type", "!=", "E.2").mask(table).tolist() == [
+            True, True, False, False,
+        ]
+
+    def test_order_on_categorical_rejected(self, table):
+        with pytest.raises(ValueError, match="numeric"):
+            Comparison("building_type", "<", "E.2").mask(table)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("eph", "~", 1)
+
+
+class TestOtherPredicates:
+    def test_between(self, table):
+        assert Between("eph", 100, 200).mask(table).tolist() == [False, True, False, False]
+
+    def test_one_of_categorical(self, table):
+        mask = OneOf("energy_class", ("F", "G")).mask(table)
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_one_of_numeric(self, table):
+        mask = OneOf("eph", (50.0, 300.0)).mask(table)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_is_missing(self, table):
+        assert IsMissing("eph").mask(table).tolist() == [False, False, True, False]
+
+    def test_combinators(self, table):
+        p = Comparison("building_type", "==", "E.1.1") & Comparison("eph", ">", 100)
+        assert p.mask(table).tolist() == [False, True, False, False]
+        q = Comparison("energy_class", "==", "B") | Comparison("energy_class", "==", "G")
+        assert q.mask(table).tolist() == [True, False, False, True]
+        assert (~IsMissing("eph")).mask(table).tolist() == [True, True, False, True]
+
+    def test_within_region(self, table):
+        city = Region("c", Granularity.CITY, [(44, 6), (44, 8), (46.5, 8), (46.5, 6)])
+        west = Region("west", Granularity.DISTRICT, [(44, 6), (44, 7.2), (46.5, 7.2), (46.5, 6)])
+        h = RegionHierarchy(city=city, districts=[west])
+        mask = WithinRegion(h, Granularity.DISTRICT, "west").mask(table)
+        # row 0 at lon 7.0 inside; row 1 at 7.5 outside; row 3 has NaN lat
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_within_unknown_region(self, table):
+        h = RegionHierarchy(city=Region("c", Granularity.CITY, [(0, 0), (0, 1), (1, 1)]))
+        with pytest.raises(ValueError, match="unknown"):
+            WithinRegion(h, Granularity.DISTRICT, "nope").mask(table)
+
+
+class TestQueryEngine:
+    def test_filter_sort_limit_project(self, table):
+        q = (
+            Query()
+            .with_filter(Comparison("eph", ">", 0))
+            .with_sort("eph", descending=True)
+            .with_limit(2)
+            .with_select("eph", "energy_class")
+        )
+        result = QueryEngine(table).execute(q)
+        assert result.table.column_names == ["eph", "energy_class"]
+        assert result.table["eph"].tolist() == [300.0, 150.0]
+        assert result.n_input_rows == 4
+        assert result.selectivity == pytest.approx(0.5)
+
+    def test_empty_query_identity(self, table):
+        result = QueryEngine(table).execute(Query())
+        assert result.n_rows == 4
+
+    def test_with_filter_composes_and(self, table):
+        q = Query(where=Comparison("eph", ">", 0)).with_filter(
+            Comparison("eph", "<", 200)
+        )
+        result = QueryEngine(table).execute(q)
+        assert result.table["eph"].tolist() == [50.0, 150.0]
+
+    def test_aggregate(self, table):
+        q = Query(where=Comparison("eph", ">", 0))
+        means = QueryEngine(table).aggregate(q, by="energy_class", attribute="eph")
+        assert means["B"] == 50.0
+        assert means["F"] == 150.0
+
+    def test_selectivity_empty_table(self):
+        empty = Table([Column.numeric("eph", [])])
+        result = QueryEngine(empty).execute(Query())
+        assert result.selectivity == 0.0
+
+
+class TestStakeholders:
+    @pytest.mark.parametrize("stakeholder", list(Stakeholder))
+    def test_profiles_complete(self, stakeholder):
+        profile = profile_for(stakeholder)
+        assert profile.stakeholder is stakeholder
+        assert profile.default_attributes
+        assert profile.reports
+        for report in profile.reports:
+            assert isinstance(report.kind, ReportKind)
+            assert isinstance(report.granularity, Granularity)
+
+    def test_pa_targets_renovation(self):
+        profile = profile_for(Stakeholder.PUBLIC_ADMINISTRATION)
+        report = profile.report("renovation_targets")
+        assert report.kind is ReportKind.CLUSTER_MARKER_MAP
+
+    def test_scientist_gets_correlation_first(self):
+        profile = profile_for(Stakeholder.ENERGY_SCIENTIST)
+        assert profile.reports[0].kind is ReportKind.CORRELATION_MATRIX
+
+    def test_unknown_report_name(self):
+        with pytest.raises(KeyError):
+            profile_for(Stakeholder.CITIZEN).report("nope")
+
+    def test_case_study_filter_is_e11(self, table):
+        """Every profile's default query restricts to E.1.1, as in Section 3."""
+        for stakeholder in Stakeholder:
+            report = profile_for(stakeholder).reports[0]
+            mask = report.query.where.mask(table)
+            assert mask.tolist()[:2] == [True, True]
+            assert not mask[2]

@@ -1,0 +1,234 @@
+"""Tests for Apriori itemset mining and association-rule generation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analytics.apriori import (
+    Item,
+    ItemsetMiner,
+    transactions_from_table,
+)
+from repro.analytics.rules import (
+    AssociationRule,
+    RuleConstraints,
+    RuleMiner,
+    RuleTemplate,
+    generate_rules,
+)
+from repro.dataset.table import Column, Table
+
+
+def item(attribute, value):
+    return Item(attribute, value)
+
+
+@pytest.fixture
+def market_table():
+    """A tiny table with a planted perfect implication a=1 -> b=1."""
+    a = ["1", "1", "1", "1", "0", "0", "0", "0"]
+    b = ["1", "1", "1", "1", "1", "0", "0", "0"]
+    c = ["x", "y", "x", "y", "x", "y", "x", "y"]
+    return Table(
+        [Column.categorical("a", a), Column.categorical("b", b), Column.categorical("c", c)]
+    )
+
+
+class TestTransactions:
+    def test_items_per_row(self, market_table):
+        tx = transactions_from_table(market_table, ["a", "b"])
+        assert len(tx) == 8
+        assert set(tx[0]) == {item("a", "1"), item("b", "1")}
+
+    def test_missing_values_skipped(self):
+        t = Table([Column.categorical("a", ["1", None])])
+        tx = transactions_from_table(t, ["a"])
+        assert tx[1] == []
+
+    def test_numeric_rejected(self):
+        t = Table([Column.numeric("x", [1.0])])
+        with pytest.raises(ValueError, match="discretize"):
+            transactions_from_table(t, ["x"])
+
+
+class TestItemsetMiner:
+    def test_singleton_supports(self, market_table):
+        tx = transactions_from_table(market_table, ["a", "b"])
+        itemsets = ItemsetMiner(min_support=0.1).mine(tx)
+        assert itemsets.support((item("a", "1"),)) == pytest.approx(0.5)
+        assert itemsets.support((item("b", "1"),)) == pytest.approx(5 / 8)
+
+    def test_pair_support(self, market_table):
+        tx = transactions_from_table(market_table, ["a", "b"])
+        itemsets = ItemsetMiner(min_support=0.1).mine(tx)
+        pair = tuple(sorted((item("a", "1"), item("b", "1"))))
+        assert itemsets.support(pair) == pytest.approx(0.5)
+
+    def test_min_support_filters(self, market_table):
+        tx = transactions_from_table(market_table, ["a", "b"])
+        itemsets = ItemsetMiner(min_support=0.6).mine(tx)
+        assert (item("b", "1"),) in itemsets.supports
+        assert (item("a", "1"),) not in itemsets.supports  # support 0.5 < 0.6
+
+    def test_same_attribute_never_pairs(self, market_table):
+        tx = transactions_from_table(market_table, ["a", "b", "c"])
+        itemsets = ItemsetMiner(min_support=0.01).mine(tx)
+        for itemset in itemsets.supports:
+            attrs = [i.attribute for i in itemset]
+            assert len(attrs) == len(set(attrs))
+
+    def test_max_length_cap(self, market_table):
+        tx = transactions_from_table(market_table, ["a", "b", "c"])
+        itemsets = ItemsetMiner(min_support=0.01, max_length=2).mine(tx)
+        assert all(len(s) <= 2 for s in itemsets.supports)
+
+    def test_downward_closure_holds(self, market_table):
+        tx = transactions_from_table(market_table, ["a", "b", "c"])
+        itemsets = ItemsetMiner(min_support=0.1).mine(tx)
+        for itemset, support in itemsets.supports.items():
+            for drop in range(len(itemset)):
+                subset = itemset[:drop] + itemset[drop + 1 :]
+                if subset:
+                    assert itemsets.supports[subset] >= support
+
+    def test_empty_transactions(self):
+        itemsets = ItemsetMiner().mine([])
+        assert len(itemsets) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ItemsetMiner(min_support=0.0)
+        with pytest.raises(ValueError):
+            ItemsetMiner(max_length=0)
+
+    def test_supports_match_bruteforce(self):
+        rng = np.random.default_rng(0)
+        rows = [
+            {"a": str(rng.integers(0, 2)), "b": str(rng.integers(0, 3)), "c": str(rng.integers(0, 2))}
+            for __ in range(200)
+        ]
+        t = Table(
+            [
+                Column.categorical("a", [r["a"] for r in rows]),
+                Column.categorical("b", [r["b"] for r in rows]),
+                Column.categorical("c", [r["c"] for r in rows]),
+            ]
+        )
+        tx = transactions_from_table(t, ["a", "b", "c"])
+        itemsets = ItemsetMiner(min_support=0.05).mine(tx)
+        for itemset, support in itemsets.supports.items():
+            count = sum(1 for row in rows if all(row[i.attribute] == i.value for i in itemset))
+            assert support == pytest.approx(count / 200)
+
+
+class TestRuleGeneration:
+    def mine(self, table, attributes, **kw):
+        tx = transactions_from_table(table, attributes)
+        itemsets = ItemsetMiner(min_support=kw.pop("min_support", 0.1)).mine(tx)
+        return generate_rules(itemsets, RuleConstraints(min_support=0.1, **kw))
+
+    def test_perfect_rule_found(self, market_table):
+        rules = self.mine(market_table, ["a", "b"], min_confidence=0.9)
+        perfect = [r for r in rules if r.antecedent == (item("a", "1"),)
+                   and r.consequent == (item("b", "1"),)]
+        assert len(perfect) == 1
+        rule = perfect[0]
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.lift == pytest.approx(1.0 / (5 / 8))
+        assert math.isinf(rule.conviction)
+
+    def test_quality_indices_formulas(self, market_table):
+        rules = self.mine(market_table, ["a", "b"], min_confidence=0.0, min_lift=0.0,
+                          min_conviction=0.0)
+        # b=1 -> a=1: supp 0.5, conf 0.5/0.625 = 0.8, lift 0.8/0.5 = 1.6
+        rule = next(r for r in rules if r.antecedent == (item("b", "1"),)
+                    and r.consequent == (item("a", "1"),))
+        assert rule.support == pytest.approx(0.5)
+        assert rule.confidence == pytest.approx(0.8)
+        assert rule.lift == pytest.approx(1.6)
+        assert rule.conviction == pytest.approx((1 - 0.5) / (1 - 0.8))
+
+    def test_antecedent_consequent_disjoint(self, market_table):
+        rules = self.mine(market_table, ["a", "b", "c"], min_confidence=0.0,
+                          min_lift=0.0, min_conviction=0.0)
+        for rule in rules:
+            assert not set(rule.antecedent) & set(rule.consequent)
+            assert rule.antecedent and rule.consequent
+
+    def test_constraints_filter(self, market_table):
+        strict = self.mine(market_table, ["a", "b"], min_confidence=0.99)
+        loose = self.mine(market_table, ["a", "b"], min_confidence=0.1,
+                          min_lift=0.0, min_conviction=0.0)
+        assert len(strict) < len(loose)
+        assert all(r.confidence >= 0.99 for r in strict)
+
+    def test_template_consequent_restriction(self, market_table):
+        tx = transactions_from_table(market_table, ["a", "b", "c"])
+        itemsets = ItemsetMiner(min_support=0.1).mine(tx)
+        template = RuleTemplate(consequent_attributes=("b",))
+        rules = generate_rules(
+            itemsets,
+            RuleConstraints(min_support=0.1, min_confidence=0.0, min_lift=0.0,
+                            min_conviction=0.0),
+            template,
+        )
+        assert rules
+        assert all(i.attribute == "b" for r in rules for i in r.consequent)
+
+    def test_template_antecedent_exclusion(self, market_table):
+        tx = transactions_from_table(market_table, ["a", "b", "c"])
+        itemsets = ItemsetMiner(min_support=0.1).mine(tx)
+        template = RuleTemplate(antecedent_excludes=("c",))
+        rules = generate_rules(
+            itemsets,
+            RuleConstraints(min_support=0.1, min_confidence=0.0, min_lift=0.0,
+                            min_conviction=0.0),
+            template,
+        )
+        assert all(i.attribute != "c" for r in rules for i in r.antecedent)
+
+    def test_template_max_antecedent(self, market_table):
+        tx = transactions_from_table(market_table, ["a", "b", "c"])
+        itemsets = ItemsetMiner(min_support=0.05).mine(tx)
+        template = RuleTemplate(max_antecedent=1)
+        rules = generate_rules(
+            itemsets,
+            RuleConstraints(min_support=0.05, min_confidence=0.0, min_lift=0.0,
+                            min_conviction=0.0),
+            template,
+        )
+        assert all(len(r.antecedent) == 1 for r in rules)
+
+    def test_rule_str(self):
+        rule = AssociationRule(
+            (item("u", "High"),), (item("eph", "High"),), 0.2, 0.8, 1.5, 2.0
+        )
+        assert str(rule) == "{u=High} -> {eph=High}"
+
+
+class TestRuleMiner:
+    def test_end_to_end(self, market_table):
+        miner = RuleMiner(
+            RuleConstraints(min_support=0.1, min_confidence=0.8, min_lift=1.0,
+                            min_conviction=0.0)
+        )
+        rules = miner.mine(market_table, ["a", "b"])
+        assert any(
+            r.antecedent == (item("a", "1"),) and r.consequent == (item("b", "1"),)
+            for r in rules
+        )
+
+    def test_top_k_orders_by_index(self, market_table):
+        miner = RuleMiner(
+            RuleConstraints(min_support=0.1, min_confidence=0.0, min_lift=0.0,
+                            min_conviction=0.0)
+        )
+        rules = miner.mine(market_table, ["a", "b", "c"])
+        top = RuleMiner.top_k(rules, 3, by="confidence")
+        assert len(top) == 3
+        assert top[0].confidence >= top[1].confidence >= top[2].confidence
+
+    def test_top_k_unknown_index(self):
+        with pytest.raises(ValueError):
+            RuleMiner.top_k([], 3, by="magic")

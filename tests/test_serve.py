@@ -1,0 +1,94 @@
+"""Tests for the dashboard HTTP server (routing is pure, no sockets)."""
+
+import pytest
+
+from repro import Indice, IndiceConfig, Stakeholder
+from repro.dataset import SyntheticConfig, generate_epc_collection
+from repro.serve import DashboardServer
+
+
+@pytest.fixture(scope="module")
+def server():
+    collection = generate_epc_collection(SyntheticConfig(n_certificates=1000, seed=77))
+    engine = Indice(
+        collection,
+        IndiceConfig(kmeans_n_init=2, k_range=(2, 5), run_multivariate_outliers=False),
+    )
+    engine.preprocess()
+    engine.analyze()
+    return DashboardServer(engine)
+
+
+class TestRouting:
+    def test_index_links_all_stakeholders(self, server):
+        status, content_type, body = server.route("/")
+        assert status == 200
+        assert "text/html" in content_type
+        for s in Stakeholder:
+            assert f"/dashboard/{s.value}" in body
+
+    def test_dashboard_route(self, server):
+        status, __, body = server.route("/dashboard/citizen")
+        assert status == 200
+        assert body.startswith("<!DOCTYPE html>")
+        assert "showTab" in body  # the navigable dashboard
+
+    def test_trailing_slash_normalized(self, server):
+        status, __, ___ = server.route("/dashboard/citizen/")
+        assert status == 200
+
+    def test_unknown_stakeholder_404(self, server):
+        status, __, body = server.route("/dashboard/alien")
+        assert status == 404
+        assert "alien" in body
+
+    def test_unknown_path_404(self, server):
+        status, __, ___ = server.route("/nope")
+        assert status == 404
+
+    def test_report_route(self, server):
+        status, __, body = server.route("/report")
+        assert status == 200
+        assert "INDICE analysis report" in body
+
+    def test_dashboard_cached(self, server):
+        first = server.route("/dashboard/energy_scientist")[2]
+        second = server.route("/dashboard/energy_scientist")[2]
+        assert first is second  # same cached object, not re-rendered
+
+    def test_requires_analyzed_engine(self):
+        collection = generate_epc_collection(SyntheticConfig(n_certificates=100, seed=1))
+        with pytest.raises(RuntimeError):
+            DashboardServer(Indice(collection))
+
+
+class TestEndToEndSocket:
+    def test_real_http_roundtrip(self, server):
+        """One real request through http.server to cover the socket layer."""
+        import threading
+        import urllib.request
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                status, content_type, body = server.route(self.path)
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args):
+                pass
+
+        httpd = HTTPServer(("127.0.0.1", 0), Handler)
+        port = httpd.server_address[1]
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(f"http://127.0.0.1:{port}/") as response:
+                assert response.status == 200
+                assert b"INDICE" in response.read()
+        finally:
+            httpd.shutdown()

@@ -1,0 +1,113 @@
+"""Tests for Moran's I spatial autocorrelation."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.spatial import (
+    morans_i,
+    morans_i_for_regions,
+    region_adjacency,
+)
+from repro.dataset import SyntheticConfig, generate_epc_collection
+from repro.geo.regions import Granularity
+
+
+def grid_weights(rows: int, cols: int) -> np.ndarray:
+    """Rook adjacency on a rows x cols lattice."""
+    n = rows * cols
+    w = np.zeros((n, n))
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if c + 1 < cols:
+                j = i + 1
+                w[i, j] = w[j, i] = 1
+            if r + 1 < rows:
+                j = i + cols
+                w[i, j] = w[j, i] = 1
+    return w
+
+
+class TestMoransI:
+    def test_smooth_gradient_is_clustered(self):
+        w = grid_weights(5, 5)
+        values = np.arange(25.0)  # strong gradient across the lattice
+        result = morans_i(values, w, n_permutations=499, seed=0)
+        assert result.statistic > 0.5
+        assert result.p_value < 0.05
+        assert result.is_clustered
+
+    def test_checkerboard_is_dispersed(self):
+        w = grid_weights(6, 6)
+        values = np.array([(r + c) % 2 for r in range(6) for c in range(6)], dtype=float)
+        result = morans_i(values, w, n_permutations=199, seed=0)
+        assert result.statistic < result.expected
+        assert not result.is_clustered
+
+    def test_random_values_near_expected(self):
+        rng = np.random.default_rng(3)
+        w = grid_weights(8, 8)
+        result = morans_i(rng.normal(0, 1, 64), w, n_permutations=199, seed=1)
+        assert abs(result.statistic - result.expected) < 0.25
+        assert result.p_value > 0.01
+
+    def test_constant_values_zero(self):
+        w = grid_weights(3, 3)
+        result = morans_i(np.full(9, 5.0), w, n_permutations=49)
+        assert result.statistic == 0.0
+
+    def test_nan_rows_dropped(self):
+        w = grid_weights(3, 3)
+        values = np.arange(9.0)
+        values[0] = np.nan
+        result = morans_i(values, w, n_permutations=49)
+        assert result.n_regions == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=r"\(n, n\)"):
+            morans_i(np.arange(4.0), np.zeros((3, 3)))
+        bad = np.eye(4)
+        with pytest.raises(ValueError, match="diagonal"):
+            morans_i(np.arange(4.0), bad)
+        with pytest.raises(ValueError, match="at least 3"):
+            morans_i(np.arange(2.0), np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="non-zero"):
+            morans_i(np.arange(4.0), np.zeros((4, 4)))
+
+    def test_expected_value(self):
+        w = grid_weights(4, 4)
+        result = morans_i(np.arange(16.0), w, n_permutations=9)
+        assert result.expected == pytest.approx(-1 / 15)
+
+
+class TestRegionAdjacency:
+    def test_district_grid_adjacency(self):
+        collection = generate_epc_collection(SyntheticConfig(n_certificates=200, seed=1))
+        names, w = region_adjacency(collection.hierarchy, Granularity.DISTRICT)
+        assert len(names) == 8
+        assert np.array_equal(w, w.T)
+        # the 4x2 district grid: corners have 3 neighbours (queen adjacency)
+        degrees = w.sum(axis=1)
+        assert degrees.min() == 3
+        assert degrees.max() <= 5
+
+    def test_neighbourhood_adjacency_connected(self):
+        collection = generate_epc_collection(SyntheticConfig(n_certificates=200, seed=1))
+        __, w = region_adjacency(collection.hierarchy, Granularity.NEIGHBOURHOOD)
+        assert (w.sum(axis=1) > 0).all()  # no isolated neighbourhood
+
+
+class TestEndToEnd:
+    def test_eph_is_spatially_clustered(self):
+        """The maps' premise: heating demand clusters in space (era mixes
+        differ per district in the synthetic city, as in real Turin)."""
+        collection = generate_epc_collection(SyntheticConfig(n_certificates=6000, seed=2322))
+        turin = collection.table.where(
+            np.array([c == "Turin" for c in collection.table["city"]])
+        )
+        result = morans_i_for_regions(
+            turin, collection.hierarchy, Granularity.NEIGHBOURHOOD, "eph",
+            n_permutations=499, seed=0,
+        )
+        assert result.statistic > result.expected
+        assert result.is_clustered

@@ -1,0 +1,200 @@
+"""Tests for descriptive statistics, histograms and correlation matrices."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.correlation import CorrelationMatrix, correlation_matrix, pearson
+from repro.analytics.stats import (
+    grouped_histograms,
+    histogram,
+    quantile_bins,
+    summarize_categorical,
+    summarize_numeric,
+    summarize_table,
+)
+from repro.dataset.table import Column, Table
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(100.0)
+        assert pearson(x, 2 * x + 3) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(100.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        assert abs(pearson(rng.normal(0, 1, 5000), rng.normal(0, 1, 5000))) < 0.05
+
+    def test_pairwise_complete(self):
+        x = np.array([1.0, 2.0, np.nan, 4.0, 5.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0, np.nan])
+        assert pearson(x, y) == pytest.approx(1.0)
+
+    def test_constant_is_nan(self):
+        assert np.isnan(pearson(np.full(10, 1.0), np.arange(10.0)))
+
+    def test_too_few_pairs_nan(self):
+        assert np.isnan(pearson(np.array([1.0, np.nan]), np.array([np.nan, 1.0])))
+
+
+class TestCorrelationMatrix:
+    def make(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 500)
+        b = a * 0.9 + rng.normal(0, 0.1, 500)  # strongly tied to a
+        c = rng.normal(0, 1, 500)              # independent
+        t = Table([Column.numeric("a", a), Column.numeric("b", b), Column.numeric("c", c)])
+        return correlation_matrix(t, ["a", "b", "c"])
+
+    def test_symmetric_unit_diagonal(self):
+        cm = self.make()
+        assert np.allclose(cm.matrix, cm.matrix.T, equal_nan=True)
+        assert np.allclose(np.diag(cm.matrix), 1.0)
+
+    def test_value_lookup(self):
+        cm = self.make()
+        assert cm.value("a", "b") == cm.value("b", "a")
+        assert cm.value("a", "b") > 0.9
+
+    def test_eligibility(self):
+        cm = self.make()
+        assert not cm.is_eligible()  # a-b pair is evidently correlated
+        weak = correlation_matrix(
+            Table(
+                [
+                    Column.numeric("x", np.random.default_rng(0).normal(0, 1, 500)),
+                    Column.numeric("y", np.random.default_rng(1).normal(0, 1, 500)),
+                ]
+            ),
+            ["x", "y"],
+        )
+        assert weak.is_eligible()
+
+    def test_off_diagonal_count(self):
+        cm = self.make()
+        assert len(cm.off_diagonal()) == 3  # C(3, 2)
+
+    def test_gray_levels_bounds(self):
+        levels = self.make().gray_levels()
+        assert levels.min() >= 0.0
+        assert levels.max() <= 1.0
+
+    def test_pairs_above(self):
+        cm = self.make()
+        pairs = cm.pairs_above(0.5)
+        assert pairs[0][:2] == ("a", "b")
+
+    def test_nan_pair_not_eligible_blocker(self):
+        t = Table(
+            [
+                Column.numeric("x", [1.0, 2.0, 3.0]),
+                Column.numeric("const", [5.0, 5.0, 5.0]),
+            ]
+        )
+        cm = correlation_matrix(t, ["x", "const"])
+        assert np.isnan(cm.value("x", "const"))
+        assert cm.is_eligible()  # NaN pairs don't count as correlated
+
+
+class TestNumericSummary:
+    def test_paper_panel_fields(self):
+        s = summarize_numeric(np.arange(1.0, 101.0), "x")
+        assert s.count == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.median == pytest.approx(50.5)
+        assert s.q1 < s.median < s.q3
+        assert s.minimum == 1.0
+        assert s.maximum == 100.0
+
+    def test_nan_ignored(self):
+        s = summarize_numeric(np.array([1.0, np.nan, 3.0]))
+        assert s.count == 2
+        assert s.mean == pytest.approx(2.0)
+
+    def test_empty(self):
+        s = summarize_numeric(np.array([]))
+        assert s.count == 0
+        assert np.isnan(s.mean)
+
+    def test_single_value_std_zero(self):
+        assert summarize_numeric(np.array([4.0])).std == 0.0
+
+    def test_as_dict_keys(self):
+        d = summarize_numeric(np.arange(10.0)).as_dict()
+        assert set(d) == {"count", "mean", "std", "q1", "median", "q3", "min", "max"}
+
+
+class TestCategoricalSummary:
+    def test_mode_and_topk(self):
+        s = summarize_categorical(["a", "a", "b", None, "c", "a"], "x", top_k=2)
+        assert s.count == 5
+        assert s.n_distinct == 3
+        assert s.mode == "a"
+        assert s.mode_frequency == 3
+        assert len(s.top_values) == 2
+
+    def test_empty(self):
+        s = summarize_categorical([None, None])
+        assert s.count == 0
+        assert s.mode is None
+
+
+class TestSummarizeTable:
+    def test_dispatch_by_kind(self):
+        t = Table(
+            [Column.numeric("x", [1.0, 2.0]), Column.categorical("c", ["a", "b"])]
+        )
+        out = summarize_table(t)
+        assert out["x"].mean == pytest.approx(1.5)
+        assert out["c"].n_distinct == 2
+
+
+class TestHistograms:
+    def test_counts_sum_to_present(self):
+        values = np.array([1.0, 2.0, np.nan, 3.0])
+        h = histogram(values, bins=3)
+        assert h.n == 3
+
+    def test_densities_sum_to_one(self):
+        h = histogram(np.random.default_rng(0).normal(0, 1, 100), bins=10)
+        assert h.densities().sum() == pytest.approx(1.0)
+
+    def test_empty_histogram(self):
+        h = histogram(np.array([np.nan]))
+        assert h.n == 0
+        assert np.all(h.densities() == 0)
+
+    def test_bin_centers_inside_edges(self):
+        h = histogram(np.arange(100.0), bins=5)
+        centers = h.bin_centers()
+        assert np.all(centers > h.edges[0])
+        assert np.all(centers < h.edges[-1])
+
+    def test_quantile_bins_quartiles(self):
+        edges = quantile_bins(np.arange(1.0, 101.0), n_bins=4)
+        assert len(edges) == 5
+        assert edges[0] == 1.0
+        assert edges[-1] == 100.0
+        assert edges[2] == pytest.approx(50.5)
+
+    def test_quantile_bins_validation(self):
+        with pytest.raises(ValueError):
+            quantile_bins(np.arange(10.0), n_bins=0)
+
+    def test_quantile_bins_empty(self):
+        assert len(quantile_bins(np.array([np.nan]))) == 0
+
+    def test_grouped_histograms_share_range(self):
+        t = Table(
+            [
+                Column.numeric("v", [1.0, 2.0, 3.0, 10.0, 11.0, 12.0]),
+                Column.categorical("g", ["a", "a", "a", "b", "b", "b"]),
+            ]
+        )
+        hists = grouped_histograms(t, "v", by="g", bins=4)
+        assert set(hists) == {"a", "b"}
+        assert np.array_equal(hists["a"].edges, hists["b"].edges)
+        assert hists["a"].n == 3

@@ -1,0 +1,357 @@
+"""Unit and property tests for the columnar Table substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.table import Column, ColumnKind, Table, TableError
+
+
+def make_table():
+    return Table(
+        [
+            Column.numeric("x", [1.0, 2.0, None, 4.0]),
+            Column.categorical("c", ["a", "b", "a", None]),
+            Column.text("t", ["via roma", None, "corso francia", "via po"]),
+        ]
+    )
+
+
+class TestColumn:
+    def test_numeric_missing_becomes_nan(self):
+        col = Column.numeric("x", [1, None, 3])
+        assert np.isnan(col.values[1])
+        assert col.is_missing().tolist() == [False, True, False]
+
+    def test_categorical_coerces_to_str(self):
+        col = Column.categorical("c", [1, "b", None])
+        assert col.values[0] == "1"
+        assert col.values[2] is None
+
+    def test_non_missing(self):
+        col = Column.numeric("x", [1.0, None, 3.0])
+        assert col.non_missing().tolist() == [1.0, 3.0]
+
+    def test_unique_sorted(self):
+        col = Column.categorical("c", ["b", "a", "b", None])
+        assert col.unique() == ["a", "b"]
+
+    def test_numeric_unique(self):
+        col = Column.numeric("x", [3.0, 1.0, 3.0])
+        assert col.unique() == [1.0, 3.0]
+
+    def test_equality_with_nan(self):
+        a = Column.numeric("x", [1.0, None])
+        b = Column.numeric("x", [1.0, None])
+        assert a == b
+
+    def test_equality_kind_mismatch(self):
+        a = Column.categorical("c", ["1"])
+        b = Column.text("c", ["1"])
+        assert a != b
+
+    def test_take_reorders(self):
+        col = Column.numeric("x", [1.0, 2.0, 3.0])
+        assert col.take(np.array([2, 0])).values.tolist() == [3.0, 1.0]
+
+    def test_renamed_shares_buffer(self):
+        col = Column.numeric("x", [1.0])
+        renamed = col.renamed("y")
+        assert renamed.name == "y"
+        assert renamed.values is col.values
+
+    def test_from_kind_dispatch(self):
+        assert Column.from_kind("a", ColumnKind.NUMERIC, [1]).kind is ColumnKind.NUMERIC
+        assert Column.from_kind("a", ColumnKind.TEXT, ["x"]).kind is ColumnKind.TEXT
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Column.numeric("x", [1.0]))
+
+
+class TestTableConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TableError, match="duplicate"):
+            Table([Column.numeric("x", [1]), Column.numeric("x", [2])])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TableError, match="differing lengths"):
+            Table([Column.numeric("x", [1]), Column.numeric("y", [1, 2])])
+
+    def test_from_columns_requires_kinds(self):
+        with pytest.raises(TableError, match="no kind"):
+            Table.from_columns({"x": [1]}, {})
+
+    def test_from_rows_missing_keys(self):
+        t = Table.from_rows(
+            [{"x": 1}, {"x": 2, "c": "a"}],
+            {"x": ColumnKind.NUMERIC, "c": ColumnKind.CATEGORICAL},
+        )
+        assert t["c"][0] is None
+        assert t["c"][1] == "a"
+
+    def test_empty_table(self):
+        t = Table.empty()
+        assert t.n_rows == 0
+        assert t.n_columns == 0
+
+    def test_repr(self):
+        assert "4 rows x 3 columns" in repr(make_table())
+
+
+class TestTableAccess:
+    def test_unknown_column(self):
+        with pytest.raises(TableError, match="unknown column"):
+            make_table().column("nope")
+
+    def test_kind_lookup(self):
+        t = make_table()
+        assert t.kind("x") is ColumnKind.NUMERIC
+        assert t.kind("c") is ColumnKind.CATEGORICAL
+        assert t.kind("t") is ColumnKind.TEXT
+
+    def test_kind_buckets(self):
+        t = make_table()
+        assert t.numeric_columns() == ["x"]
+        assert t.categorical_columns() == ["c"]
+        assert t.text_columns() == ["t"]
+
+    def test_row_and_to_rows(self):
+        t = make_table()
+        assert t.row(0)["c"] == "a"
+        assert len(t.to_rows()) == 4
+
+    def test_row_out_of_range(self):
+        with pytest.raises(TableError, match="out of range"):
+            make_table().row(10)
+
+    def test_contains(self):
+        assert "x" in make_table()
+        assert "nope" not in make_table()
+
+
+class TestTableTransforms:
+    def test_select_order(self):
+        t = make_table().select(["c", "x"])
+        assert t.column_names == ["c", "x"]
+
+    def test_drop(self):
+        t = make_table().drop(["t"])
+        assert t.column_names == ["x", "c"]
+
+    def test_drop_unknown(self):
+        with pytest.raises(TableError):
+            make_table().drop(["nope"])
+
+    def test_with_column_appends(self):
+        t = make_table().with_column(Column.numeric("y", [9, 9, 9, 9]))
+        assert t.column_names[-1] == "y"
+
+    def test_with_column_replaces_in_place_name(self):
+        t = make_table().with_column(Column.numeric("x", [9, 9, 9, 9]))
+        assert t["x"].tolist() == [9, 9, 9, 9]
+        assert t.n_columns == 3
+
+    def test_with_column_length_check(self):
+        with pytest.raises(TableError):
+            make_table().with_column(Column.numeric("y", [1]))
+
+    def test_rename(self):
+        t = make_table().rename({"x": "value"})
+        assert "value" in t.column_names
+        assert "x" not in t.column_names
+
+    def test_where(self):
+        t = make_table()
+        out = t.where(np.array([True, False, True, False]))
+        assert out.n_rows == 2
+        assert out["c"].tolist() == ["a", "a"]
+
+    def test_where_shape_check(self):
+        with pytest.raises(TableError):
+            make_table().where(np.array([True]))
+
+    def test_head(self):
+        assert make_table().head(2).n_rows == 2
+        assert make_table().head(100).n_rows == 4
+
+    def test_sort_numeric_missing_last(self):
+        t = make_table().sort_by("x")
+        assert t["x"].tolist()[:3] == [1.0, 2.0, 4.0]
+        assert np.isnan(t["x"][3])
+
+    def test_sort_descending_missing_last(self):
+        t = make_table().sort_by("x", descending=True)
+        assert t["x"].tolist()[:3] == [4.0, 2.0, 1.0]
+        assert np.isnan(t["x"][3])
+
+    def test_sort_categorical(self):
+        t = make_table().sort_by("c")
+        assert t["c"].tolist()[:3] == ["a", "a", "b"]
+        assert t["c"][3] is None
+
+    def test_drop_missing_all(self):
+        # only row 0 is fully present (rows 1-3 each miss one field)
+        t = make_table().drop_missing()
+        assert t.n_rows == 1
+
+    def test_drop_missing_subset(self):
+        t = make_table().drop_missing(["x"])
+        assert t.n_rows == 3
+
+
+class TestGroupJoin:
+    def test_group_by_categorical(self):
+        groups = make_table().group_by("c")
+        assert set(groups) == {"a", "b", None}
+        assert groups["a"].n_rows == 2
+
+    def test_group_by_numeric_keys_are_floats(self):
+        t = Table([Column.numeric("k", [1, 1, 2])])
+        groups = t.group_by("k")
+        assert set(groups) == {1.0, 2.0}
+
+    def test_group_indices_cover_all_rows(self):
+        idx = make_table().group_indices("c")
+        total = sum(len(v) for v in idx.values())
+        assert total == 4
+
+    def test_inner_join(self):
+        left = Table(
+            [Column.categorical("k", ["a", "b", "c"]), Column.numeric("x", [1, 2, 3])]
+        )
+        right = Table(
+            [Column.categorical("k", ["b", "c", "d"]), Column.numeric("y", [20, 30, 40])]
+        )
+        out = left.join(right, on="k")
+        assert out.n_rows == 2
+        assert out["y"].tolist() == [20.0, 30.0]
+
+    def test_left_join_fills_missing(self):
+        left = Table([Column.categorical("k", ["a", "b"]), Column.numeric("x", [1, 2])])
+        right = Table([Column.categorical("k", ["b"]), Column.numeric("y", [20])])
+        out = left.join(right, on="k", how="left")
+        assert out.n_rows == 2
+        assert np.isnan(out["y"][0])
+        assert out["y"][1] == 20.0
+
+    def test_join_name_clash_gets_suffix(self):
+        left = Table([Column.categorical("k", ["a"]), Column.numeric("x", [1])])
+        right = Table([Column.categorical("k", ["a"]), Column.numeric("x", [9])])
+        out = left.join(right, on="k")
+        assert "x_right" in out.column_names
+
+    def test_join_unsupported_how(self):
+        t = Table([Column.categorical("k", ["a"])])
+        with pytest.raises(TableError):
+            t.join(t, on="k", how="outer")
+
+    def test_join_duplicate_right_keys_multiply(self):
+        left = Table([Column.categorical("k", ["a"]), Column.numeric("x", [1])])
+        right = Table([Column.categorical("k", ["a", "a"]), Column.numeric("y", [1, 2])])
+        out = left.join(right, on="k")
+        assert out.n_rows == 2
+
+
+class TestAggregateStackMatrix:
+    def test_aggregate_mean(self):
+        t = Table(
+            [
+                Column.categorical("g", ["a", "a", "b"]),
+                Column.numeric("v", [1.0, 3.0, 5.0]),
+            ]
+        )
+        out = t.aggregate("g", "v", np.mean)
+        assert out["a"] == 2.0
+        assert out["b"] == 5.0
+
+    def test_aggregate_ignores_missing(self):
+        t = Table(
+            [
+                Column.categorical("g", ["a", "a"]),
+                Column.numeric("v", [1.0, None]),
+            ]
+        )
+        assert t.aggregate("g", "v", np.mean)["a"] == 1.0
+
+    def test_aggregate_empty_group_is_nan(self):
+        t = Table(
+            [Column.categorical("g", ["a"]), Column.numeric("v", [None])]
+        )
+        assert np.isnan(t.aggregate("g", "v", np.mean)["a"])
+
+    def test_aggregate_requires_numeric(self):
+        t = make_table()
+        with pytest.raises(TableError):
+            t.aggregate("c", "t", np.mean)
+
+    def test_vstack(self):
+        t = make_table()
+        out = t.vstack(t)
+        assert out.n_rows == 8
+
+    def test_vstack_schema_mismatch(self):
+        t = make_table()
+        with pytest.raises(TableError):
+            t.vstack(t.select(["x", "c"]))
+
+    def test_to_matrix_shape(self):
+        t = make_table()
+        m = t.to_matrix(["x"])
+        assert m.shape == (4, 1)
+
+    def test_to_matrix_rejects_categorical(self):
+        with pytest.raises(TableError):
+            make_table().to_matrix(["c"])
+
+    def test_to_matrix_empty(self):
+        m = make_table().to_matrix([])
+        assert m.shape == (4, 0)
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=0, max_value=30))
+    xs = draw(
+        st.lists(
+            st.one_of(st.none(), st.floats(-1e6, 1e6, allow_nan=False)),
+            min_size=n, max_size=n,
+        )
+    )
+    cs = draw(
+        st.lists(
+            st.one_of(st.none(), st.sampled_from(["a", "b", "c"])),
+            min_size=n, max_size=n,
+        )
+    )
+    return Table([Column.numeric("x", xs), Column.categorical("c", cs)])
+
+
+class TestTableProperties:
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_where_then_count(self, t):
+        mask = ~t.column("x").is_missing()
+        filtered = t.where(mask)
+        assert filtered.n_rows == int(mask.sum())
+        assert not filtered.column("x").is_missing().any()
+
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_group_by_partitions(self, t):
+        groups = t.group_by("c")
+        assert sum(g.n_rows for g in groups.values()) == t.n_rows
+
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_sort_is_permutation(self, t):
+        out = t.sort_by("x")
+        a = np.sort(t["x"][~np.isnan(t["x"])])
+        b = np.sort(out["x"][~np.isnan(out["x"])])
+        assert np.array_equal(a, b)
+
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_vstack_length_adds(self, t):
+        assert t.vstack(t).n_rows == 2 * t.n_rows

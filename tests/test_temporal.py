@@ -1,0 +1,94 @@
+"""Tests for the temporal analytics module and its dashboard wiring."""
+
+import numpy as np
+import pytest
+
+from repro import Indice, IndiceConfig, Stakeholder
+from repro.analytics.temporal import temporal_summary
+from repro.dataset import SyntheticConfig, generate_epc_collection
+from repro.dataset.table import Column, Table
+
+
+def year_table():
+    return Table(
+        [
+            Column.numeric("certificate_year", [2016, 2016, 2017, 2018, 2018, None]),
+            Column.numeric("eph", [100.0, 110.0, 90.0, 80.0, None, 50.0]),
+            Column.categorical(
+                "energy_class", ["F", "F", "D", "B", "C", "A4"]
+            ),
+        ]
+    )
+
+
+class TestTemporalSummary:
+    def test_years_sorted_and_counts(self):
+        summary = temporal_summary(year_table())
+        assert summary.years() == [2016, 2017, 2018]
+        assert summary.counts() == [2, 1, 2]
+
+    def test_missing_year_skipped(self):
+        summary = temporal_summary(year_table())
+        assert sum(summary.counts()) == 5
+
+    def test_mean_ignores_missing_response(self):
+        summary = temporal_summary(year_table())
+        by_year = {s.year: s for s in summary.slices}
+        assert by_year[2016].mean_response == pytest.approx(105.0)
+        assert by_year[2018].mean_response == pytest.approx(80.0)  # one NaN dropped
+
+    def test_class_mix(self):
+        summary = temporal_summary(year_table())
+        first = summary.slices[0]
+        assert dict(first.class_mix) == {"F": 2}
+        assert first.class_share("F") == 1.0
+        assert first.class_share("A4") == 0.0
+
+    def test_trend_negative_for_improving_stock(self):
+        summary = temporal_summary(year_table())
+        assert summary.response_trend() < 0  # 105 -> 90 -> 80
+
+    def test_trend_nan_single_year(self):
+        table = Table(
+            [
+                Column.numeric("certificate_year", [2016, 2016]),
+                Column.numeric("eph", [100.0, 120.0]),
+                Column.categorical("energy_class", ["F", "F"]),
+            ]
+        )
+        assert np.isnan(temporal_summary(table).response_trend())
+
+    def test_synthetic_collection_covers_paper_years(self):
+        collection = generate_epc_collection(SyntheticConfig(n_certificates=2000, seed=9))
+        summary = temporal_summary(collection.table)
+        assert summary.years() == [2016, 2017, 2018]
+        assert all(n > 0 for n in summary.counts())
+
+
+class TestDashboardWiring:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        collection = generate_epc_collection(SyntheticConfig(n_certificates=1200, seed=6))
+        eng = Indice(
+            collection,
+            IndiceConfig(kmeans_n_init=2, k_range=(2, 5), run_multivariate_outliers=False),
+        )
+        eng.preprocess()
+        eng.analyze()
+        return eng
+
+    def test_scientist_gets_boxplot(self, engine):
+        dash = engine.build_dashboard(Stakeholder.ENERGY_SCIENTIST)
+        assert any("Boxplot of eph" == p.title for p in dash.panels)
+
+    def test_pa_gets_yearly_chart(self, engine):
+        dash = engine.build_dashboard(Stakeholder.PUBLIC_ADMINISTRATION)
+        assert any("certificate_year" in p.title for p in dash.panels)
+        yearly = next(p for p in dash.panels if "certificate_year" in p.title)
+        assert "trend" in yearly.caption
+
+    def test_citizen_gets_neither(self, engine):
+        dash = engine.build_dashboard(Stakeholder.CITIZEN)
+        titles = " | ".join(p.title for p in dash.panels)
+        assert "Boxplot" not in titles
+        assert "certificate_year" not in titles

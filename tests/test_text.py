@@ -1,0 +1,191 @@
+"""Tests for the Levenshtein and address-normalization substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.levenshtein import (
+    best_match,
+    distance,
+    distance_within,
+    similarity,
+    similarity_at_least,
+)
+from repro.text.normalize import (
+    canonical_house_number,
+    expand_abbreviations,
+    normalize_address,
+    split_house_number,
+    strip_accents,
+)
+
+
+class TestDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("via roma", "via roma", 0),
+            ("corso duca", "corso duce", 1),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert distance(a, b) == expected
+
+    def test_symmetry_examples(self):
+        assert distance("abcde", "xq") == distance("xq", "abcde")
+
+    @given(st.text(max_size=25), st.text(max_size=25))
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry(self, a, b):
+        assert distance(a, b) == distance(b, a)
+
+    @given(st.text(max_size=20), st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert distance(a, c) <= distance(a, b) + distance(b, c)
+
+    @given(st.text(max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_identity(self, a):
+        assert distance(a, a) == 0
+
+    @given(st.text(max_size=25), st.text(max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_length_difference_lower_bound(self, a, b):
+        assert distance(a, b) >= abs(len(a) - len(b))
+
+
+class TestDistanceWithin:
+    @given(st.text(max_size=20), st.text(max_size=20), st.integers(0, 25))
+    @settings(max_examples=150, deadline=None)
+    def test_agrees_with_full_distance(self, a, b, budget):
+        d = distance(a, b)
+        within = distance_within(a, b, budget)
+        if d <= budget:
+            assert within == d
+        else:
+            assert within is None
+
+    def test_negative_budget(self):
+        assert distance_within("a", "a", -1) is None
+
+    def test_empty_strings(self):
+        assert distance_within("", "abc", 3) == 3
+        assert distance_within("", "abc", 2) is None
+
+
+class TestSimilarity:
+    def test_equal_is_one(self):
+        assert similarity("via po", "via po") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert similarity("abc", "xyz") == 0.0
+
+    def test_empty_pair(self):
+        assert similarity("", "") == 1.0
+
+    @given(st.text(max_size=25), st.text(max_size=25))
+    @settings(max_examples=150, deadline=None)
+    def test_bounds(self, a, b):
+        s = similarity(a, b)
+        assert 0.0 <= s <= 1.0
+
+    @given(st.text(min_size=1, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_one_edit_similarity(self, a):
+        edited = a + "x"
+        expected = 1.0 - 1.0 / len(edited)
+        assert abs(similarity(a, edited) - expected) < 1e-12
+
+    @given(st.text(max_size=20), st.text(max_size=20), st.floats(0.0, 1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_similarity_at_least_consistent(self, a, b, phi):
+        s = similarity(a, b)
+        shortcut = similarity_at_least(a, b, phi)
+        if s >= phi:
+            assert shortcut == pytest.approx(s)
+        else:
+            assert shortcut is None
+
+
+class TestBestMatch:
+    def test_picks_closest(self):
+        cands = ["corso francia", "via roma", "via rometta"]
+        idx, sim = best_match("via roma", cands)
+        assert idx == 1
+        assert sim == 1.0
+
+    def test_threshold_filters(self):
+        assert best_match("zzz", ["via roma"], phi=0.8) is None
+
+    def test_tie_keeps_first(self):
+        idx, _ = best_match("ab", ["ax", "bx"], phi=0.0)
+        assert idx == 0
+
+    def test_empty_candidates(self):
+        assert best_match("via roma", []) is None
+
+    def test_typo_still_matches(self):
+        cands = ["corso duca degli abruzzi", "via nizza"]
+        idx, sim = best_match("corso duca degli abruzi", cands, phi=0.8)
+        assert idx == 0
+        assert sim > 0.9
+
+
+class TestNormalize:
+    def test_strip_accents(self):
+        assert strip_accents("così è là") == "cosi e la"
+
+    def test_expand_abbreviations(self):
+        assert expand_abbreviations("c.so duca") == "corso duca"
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("C.SO Duca degli Abruzzi", "corso duca degli abruzzi"),
+            ("  VIA   ROMA ", "via roma"),
+            ("P.za Castello", "piazza castello"),
+            ("Via S. Francesco d'Assisi", "via san francesco d assisi"),
+            (None, ""),
+            ("", ""),
+        ],
+    )
+    def test_normalize_address(self, raw, expected):
+        assert normalize_address(raw) == expected
+
+    def test_normalization_idempotent(self):
+        once = normalize_address("C.so Vittorio Emanuele II, 12")
+        assert normalize_address(once) == once
+
+    @pytest.mark.parametrize(
+        "raw,street,number",
+        [
+            ("via roma 12", "via roma", "12"),
+            ("via roma, 12 bis", "via roma", "12bis"),
+            ("via roma n. 7", "via roma", "7"),
+            ("via roma", "via roma", None),
+            ("corso francia 140a", "corso francia", "140a"),
+        ],
+    )
+    def test_split_house_number(self, raw, street, number):
+        assert split_house_number(raw) == (street, number)
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("12", "12"),
+            ("12 BIS", "12bis"),
+            ("7b", "7b"),
+            ("  9 ", "9"),
+            ("", None),
+            (None, None),
+            ("12/A", "12"),
+        ],
+    )
+    def test_canonical_house_number(self, raw, expected):
+        assert canonical_house_number(raw) == expected

@@ -1,0 +1,188 @@
+"""Tests for cluster-validation indices and the supervised module."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.cart import RegressionTree
+from repro.analytics.supervised import (
+    KnnClassifier,
+    accuracy,
+    confusion_matrix,
+    mean_absolute_error,
+    r2_score,
+    train_test_split,
+)
+from repro.analytics.validation import davies_bouldin, silhouette_score
+
+
+def blobs(seed=0, n=50):
+    rng = np.random.default_rng(seed)
+    points = np.vstack(
+        [rng.normal((0, 0), 0.3, (n, 2)), rng.normal((8, 8), 0.3, (n, 2))]
+    )
+    labels = np.array([0] * n + [1] * n)
+    return points, labels
+
+
+class TestSilhouette:
+    def test_separated_blobs_near_one(self):
+        points, labels = blobs()
+        assert silhouette_score(points, labels) > 0.85
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(0, 1, (200, 2))
+        labels = rng.integers(0, 2, 200)
+        assert abs(silhouette_score(points, labels)) < 0.15
+
+    def test_bad_labels_negative(self):
+        points, labels = blobs()
+        # swap half of each blob's labels: many points closer to the other group
+        wrong = labels.copy()
+        wrong[:25] = 1
+        wrong[50:75] = 0
+        assert silhouette_score(points, wrong) < silhouette_score(points, labels)
+
+    def test_single_cluster_nan(self):
+        points, __ = blobs()
+        assert np.isnan(silhouette_score(points, np.zeros(len(points))))
+
+    def test_unassigned_ignored(self):
+        points, labels = blobs()
+        labels = labels.copy()
+        labels[0] = -1
+        assert silhouette_score(points, labels) > 0.85
+
+    def test_subsampling_close_to_exact(self):
+        points, labels = blobs(n=300)
+        exact = silhouette_score(points, labels, max_points=10_000)
+        sampled = silhouette_score(points, labels, max_points=150, seed=3)
+        assert abs(exact - sampled) < 0.1
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestDaviesBouldin:
+    def test_separated_blobs_small(self):
+        points, labels = blobs()
+        assert davies_bouldin(points, labels) < 0.2
+
+    def test_worse_for_overlapping(self):
+        rng = np.random.default_rng(1)
+        near = np.vstack(
+            [rng.normal((0, 0), 1.0, (50, 2)), rng.normal((1, 1), 1.0, (50, 2))]
+        )
+        labels = np.array([0] * 50 + [1] * 50)
+        points, good_labels = blobs()
+        assert davies_bouldin(near, labels) > davies_bouldin(points, good_labels)
+
+    def test_single_cluster_nan(self):
+        points, __ = blobs()
+        assert np.isnan(davies_bouldin(points, np.zeros(len(points))))
+
+    def test_identical_centroids_inf(self):
+        points = np.zeros((10, 2))
+        labels = np.array([0] * 5 + [1] * 5)
+        assert davies_bouldin(points, labels) == np.inf
+
+
+class TestSplit:
+    def test_partition(self):
+        train, test = train_test_split(100, 0.25, seed=0)
+        assert len(train) + len(test) == 100
+        assert len(set(train.tolist()) & set(test.tolist())) == 0
+        assert len(test) == 25
+
+    def test_deterministic(self):
+        a = train_test_split(50, 0.3, seed=7)
+        b = train_test_split(50, 0.3, seed=7)
+        assert np.array_equal(a[0], b[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.0)
+
+
+class TestKnn:
+    def test_classifies_blobs(self):
+        points, labels = blobs()
+        names = ["low" if v == 0 else "high" for v in labels]
+        train, test = train_test_split(len(points), 0.3, seed=0)
+        clf = KnnClassifier(k=5).fit(points[train], [names[i] for i in train])
+        predictions = clf.predict(points[test])
+        assert accuracy([names[i] for i in test], predictions) == 1.0
+
+    def test_nan_row_predicts_none(self):
+        points, labels = blobs()
+        clf = KnnClassifier(k=3).fit(points, labels.tolist())
+        assert clf.predict(np.array([[np.nan, 0.0]])) == [None]
+
+    def test_k_larger_than_train(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        clf = KnnClassifier(k=50).fit(points, ["a", "b"])
+        assert clf.predict(np.array([[0.1, 0.1]])) == ["a"]
+
+    def test_tie_breaks_to_closest(self):
+        points = np.array([[0.0], [1.0]])
+        clf = KnnClassifier(k=2).fit(points, ["near", "far"])
+        assert clf.predict(np.array([[0.2]])) == ["near"]
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            KnnClassifier().predict(np.zeros((1, 2)))
+
+    def test_none_labels_dropped_in_fit(self):
+        points = np.array([[0.0], [1.0], [2.0]])
+        clf = KnnClassifier(k=1).fit(points, ["a", None, "c"])
+        assert clf.predict(np.array([[1.1]])) == ["c"]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KnnClassifier(k=0)
+
+    def test_1d_query(self):
+        points, labels = blobs()
+        clf = KnnClassifier(k=3).fit(points, labels.tolist())
+        assert clf.predict(points[0]) == [0]
+
+
+class TestMetrics:
+    def test_accuracy_skips_none(self):
+        assert accuracy(["a", "b", None], ["a", "x", "a"]) == 0.5
+
+    def test_accuracy_empty_nan(self):
+        assert np.isnan(accuracy([None], ["a"]))
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert cm == {("a", "a"): 1, ("a", "b"): 1, ("b", "b"): 1}
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == 1.5
+
+    def test_mae_skips_nan(self):
+        assert mean_absolute_error([1.0, np.nan], [2.0, 5.0]) == 1.0
+
+    def test_r2_perfect(self):
+        y = np.arange(10.0)
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_mean_predictor_zero(self):
+        y = np.arange(10.0)
+        pred = np.full(10, y.mean())
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_r2_constant_truth_nan(self):
+        assert np.isnan(r2_score(np.ones(5), np.arange(5.0)))
+
+    def test_cart_as_regressor_beats_mean(self):
+        """RegressionTree + metrics: tree R2 on held-out data must beat 0."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 4, (800, 1))
+        y = np.floor(x[:, 0]) * 10 + rng.normal(0, 1, 800)
+        train, test = train_test_split(800, 0.25, seed=0)
+        tree = RegressionTree(max_depth=4, min_samples_leaf=20).fit(x[train], y[train])
+        pred = tree.predict(x[test])
+        assert r2_score(y[test], pred) > 0.9
