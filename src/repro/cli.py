@@ -67,13 +67,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--auto-config", action="store_true",
                      help="let the advisor pick the analysis configuration")
+    _add_perf_arguments(run)
 
     serve = sub.add_parser("serve", help="analyze once, then serve the dashboards over HTTP")
     serve.add_argument("--certificates", type=int, default=5000)
     serve.add_argument("--seed", type=int, default=2322)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8350)
+    _add_perf_arguments(serve)
     return parser
+
+
+def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared performance knobs of the pipeline-running commands."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the parallel stages "
+             "(1 = serial, 0 = all cores; default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash stage cache (always recompute)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persist stage-cache entries under DIR (reused across runs)",
+    )
+
+
+def _apply_perf_arguments(config: IndiceConfig, args: argparse.Namespace) -> IndiceConfig:
+    """Plumb the CLI performance knobs into an :class:`IndiceConfig`."""
+    config.n_jobs = args.jobs
+    config.stage_cache = not args.no_cache
+    config.cache_dir = str(args.cache_dir) if args.cache_dir else None
+    return config
 
 
 def _make_collection(n: int, seed: int, dirty: bool):
@@ -113,7 +140,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = suggest_config(collection.table).config
     else:
         config = IndiceConfig()
-    engine = Indice(collection, config)
+    engine = Indice(collection, _apply_perf_arguments(config, args))
     granularity = (
         Granularity[args.granularity.upper()] if args.granularity else None
     )
@@ -128,7 +155,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import DashboardServer
 
     collection = _make_collection(args.certificates, args.seed, dirty=True)
-    engine = Indice(collection, IndiceConfig())
+    engine = Indice(collection, _apply_perf_arguments(IndiceConfig(), args))
     engine.preprocess()
     engine.analyze()
     DashboardServer(engine).serve(args.host, args.port)

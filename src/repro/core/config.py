@@ -61,6 +61,15 @@ class IndiceConfig:
     rule_template: RuleTemplate | None = None
     correlation_threshold: float = 0.5
 
+    # -- performance (never changes results, only how fast they arrive) --
+    #: Worker processes for the parallelizable stages (1 = serial,
+    #: 0 / negative = all cores).
+    n_jobs: int = 1
+    #: Memoize whole preprocess() / analyze() outcomes on content hashes.
+    stage_cache: bool = True
+    #: Optional directory persisting stage-cache entries across processes.
+    cache_dir: str | None = None
+
     def __post_init__(self):
         if self.rule_template is None:
             # default template: explain the response variable

@@ -20,6 +20,7 @@ do) or end-to-end via :meth:`Indice.run`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -43,6 +44,8 @@ from ..dashboard.maps import (
     scatter_map,
 )
 from ..geo.regions import Granularity
+from ..perf.cache import StageCache, fingerprint_table, fingerprint_value
+from ..perf.parallel import ParallelMap
 from ..preprocessing.address_cleaner import AddressCleaner, CleaningReport
 from ..preprocessing.dbscan import dbscan
 from ..preprocessing.geocoder import SimulatedGeocoder
@@ -56,6 +59,37 @@ from .config import IndiceConfig
 from .session import ProvenanceLog
 
 __all__ = ["Indice", "PreprocessingOutcome", "AnalyticsOutcome"]
+
+#: Config fields the preprocessing outcome depends on.  Stage-cache keys
+#: fingerprint only these, so changing an analytics knob (e.g. ``k_range``)
+#: never invalidates a cached preprocessing result — and vice versa.
+#: Perf-only knobs (``n_jobs``, cache settings) appear in neither.
+_PREPROCESS_FIELDS = (
+    "city",
+    "features",
+    "response",
+    "cleaning",
+    "geocoder_quota",
+    "outlier_method",
+    "outlier_params",
+    "outlier_overrides",
+    "run_multivariate_outliers",
+)
+
+#: Config fields the analytics outcome depends on.
+_ANALYZE_FIELDS = (
+    "city",
+    "building_type",
+    "features",
+    "response",
+    "k_range",
+    "kmeans_n_init",
+    "seed",
+    "discretization_plan",
+    "rule_constraints",
+    "rule_template",
+    "correlation_threshold",
+)
 
 
 @dataclass
@@ -85,11 +119,46 @@ class AnalyticsOutcome:
     clustering: AutoKMeansResult
     discretizations: dict[str, Discretization] = field(default_factory=dict)
     rules: list[AssociationRule] = field(default_factory=list)
+    #: Memo for the dashboard invariants below (not part of the outcome's
+    #: value; excluded from comparison so cached outcomes stay equal).
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def cluster_column(self) -> str:
         """Name of the attached cluster-label column."""
         return "cluster"
+
+    # -- per-outcome dashboard invariants ------------------------------------
+    #
+    # Every tab of the navigable dashboard renders the same analytics table;
+    # the aggregates below depend only on (outcome, response), never on the
+    # tab's granularity, so they are computed once and memoized here instead
+    # of once per tab.
+
+    def region_means(self, region_column: str, response: str) -> dict:
+        """Mean *response* per region (memoized; missing regions dropped)."""
+        key = ("region_means", region_column, response)
+        if key not in self._memo:
+            means = self.table.aggregate(region_column, response, np.mean)
+            means.pop(None, None)
+            self._memo[key] = means
+        return self._memo[key]
+
+    def response_histograms(self, response: str, by: str = "cluster") -> dict:
+        """Histogram of *response* per *by* group (memoized; no-key dropped)."""
+        key = ("histograms", response, by)
+        if key not in self._memo:
+            hists = grouped_histograms(self.table, response, by=by)
+            hists.pop(None, None)
+            self._memo[key] = hists
+        return self._memo[key]
+
+    def summary(self, attributes: tuple[str, ...]):
+        """Descriptive statistics of *attributes* (memoized)."""
+        key = ("summary", attributes)
+        if key not in self._memo:
+            self._memo[key] = summarize_table(self.table, list(attributes))
+        return self._memo[key]
 
 
 class Indice:
@@ -102,14 +171,35 @@ class Indice:
         The table may be dirty — that is the expected input.
     config:
         All pipeline knobs; defaults reproduce the Section 3 case study.
+    cache:
+        Optional externally-shared :class:`StageCache`.  By default the
+        engine builds its own when ``config.stage_cache`` is on (backed by
+        ``config.cache_dir`` when set); pass an instance to share cached
+        stage outcomes across engines, or ``config.stage_cache=False`` to
+        disable memoization entirely.
     """
 
-    def __init__(self, collection: EpcCollection, config: IndiceConfig | None = None):
+    def __init__(
+        self,
+        collection: EpcCollection,
+        config: IndiceConfig | None = None,
+        cache: StageCache | None = None,
+    ):
         self.collection = collection
         self.config = config or IndiceConfig()
         self.log = ProvenanceLog()
+        self.cache = cache
+        if self.cache is None and self.config.stage_cache:
+            self.cache = StageCache(self.config.cache_dir)
+        self.executor = ParallelMap(n_jobs=self.config.n_jobs)
         self._preprocessed: PreprocessingOutcome | None = None
         self._analyzed: AnalyticsOutcome | None = None
+
+    def _config_fingerprint(self, fields: tuple[str, ...]) -> str:
+        """Fingerprint of the config fields a cached stage depends on."""
+        return fingerprint_value(
+            {name: getattr(self.config, name) for name in fields}
+        )
 
     # ------------------------------------------------------------------
     # Tier 1: data pre-processing
@@ -127,6 +217,26 @@ class Indice:
         cfg = self.config
         table = table if table is not None else self.collection.table
         n_in = table.n_rows
+        start = time.perf_counter()
+
+        cache_key = None
+        if self.cache is not None:
+            cache_key = StageCache.key(
+                "preprocess",
+                fingerprint_table(table),
+                self._config_fingerprint(_PREPROCESS_FIELDS),
+            )
+            found, cached = self.cache.get(cache_key)
+            if found:
+                elapsed = time.perf_counter() - start
+                self.log.record(
+                    "preprocessing", "stage_cache",
+                    hit=True, key=cache_key,
+                    elapsed_s=elapsed,
+                    rows_per_s=n_in / elapsed if elapsed > 0 else None,
+                )
+                self._preprocessed = cached
+                return cached
 
         # diagnostic pass first: how dirty is the input? (never mutates)
         quality = assess_quality(
@@ -152,12 +262,22 @@ class Indice:
         geocoder = SimulatedGeocoder(
             self.collection.street_map, quota=cfg.geocoder_quota
         )
-        cleaner = AddressCleaner(self.collection.street_map, cfg.cleaning, geocoder)
+        cleaner = AddressCleaner(
+            self.collection.street_map, cfg.cleaning, geocoder,
+            executor=self.executor,
+        )
+        clean_start = time.perf_counter()
         report = cleaner.clean_table(table.take(city_rows))
+        clean_elapsed = time.perf_counter() - clean_start
         self.log.record(
             "preprocessing", "geospatial_cleaning",
+            elapsed_s=clean_elapsed,
+            rows_per_s=(
+                len(city_rows) / clean_elapsed if clean_elapsed > 0 else None
+            ),
             city=cfg.city,
             phi=cfg.cleaning.phi,
+            n_jobs=self.executor.resolve_jobs(),
             rows_cleaned=len(city_rows),
             resolution_rate=round(report.resolution_rate(), 4),
             geocoder_requests=report.geocoder_requests,
@@ -204,6 +324,15 @@ class Indice:
             n_rows_out=filtered.n_rows,
             quality=quality,
         )
+        elapsed = time.perf_counter() - start
+        self.log.record(
+            "preprocessing", "stage_complete",
+            elapsed_s=elapsed,
+            rows_per_s=n_in / elapsed if elapsed > 0 else None,
+            rows_in=n_in, rows_out=filtered.n_rows,
+        )
+        if cache_key is not None:
+            self.cache.put(cache_key, outcome)
         self._preprocessed = outcome
         return outcome
 
@@ -231,6 +360,28 @@ class Indice:
         """Correlation check, clustering, discretization and rule mining."""
         cfg = self.config
         table = table if table is not None else self.select_case_study()
+        start = time.perf_counter()
+
+        cache_key = None
+        if self.cache is not None:
+            cache_key = StageCache.key(
+                "analyze",
+                fingerprint_table(table),
+                self._config_fingerprint(_ANALYZE_FIELDS),
+            )
+            found, cached = self.cache.get(cache_key)
+            if found:
+                elapsed = time.perf_counter() - start
+                self.log.record(
+                    "analytics", "stage_cache",
+                    hit=True, key=cache_key,
+                    elapsed_s=elapsed,
+                    rows_per_s=(
+                        table.n_rows / elapsed if elapsed > 0 else None
+                    ),
+                )
+                self._analyzed = cached
+                return cached
 
         correlation = correlation_matrix(table, list(cfg.features))
         self.log.record(
@@ -239,12 +390,18 @@ class Indice:
             eligible=correlation.is_eligible(cfg.correlation_threshold),
         )
 
+        kmeans_start = time.perf_counter()
         matrix, __ = standardize(table.to_matrix(list(cfg.features)))
         clustering = kmeans_auto(
             matrix, cfg.k_range, seed=cfg.seed, n_init=cfg.kmeans_n_init
         )
+        kmeans_elapsed = time.perf_counter() - kmeans_start
         self.log.record(
             "analytics", "kmeans",
+            elapsed_s=kmeans_elapsed,
+            rows_per_s=(
+                table.n_rows / kmeans_elapsed if kmeans_elapsed > 0 else None
+            ),
             chosen_k=clustering.chosen_k,
             sse=round(clustering.result.sse, 2),
         )
@@ -281,6 +438,15 @@ class Indice:
             discretizations=discretizations,
             rules=rules,
         )
+        elapsed = time.perf_counter() - start
+        self.log.record(
+            "analytics", "stage_complete",
+            elapsed_s=elapsed,
+            rows_per_s=table.n_rows / elapsed if elapsed > 0 else None,
+            rows=table.n_rows,
+        )
+        if cache_key is not None:
+            self.cache.put(cache_key, outcome)
         self._analyzed = outcome
         return outcome
 
@@ -321,8 +487,7 @@ class Indice:
             region_column = (
                 "district" if level is Granularity.DISTRICT else "neighbourhood"
             )
-            means = table.aggregate(region_column, cfg.response, np.mean)
-            means.pop(None, None)
+            means = analytics.region_means(region_column, cfg.response)
             if granularity is Granularity.NEIGHBOURHOOD:
                 # Figure 2 (upper): area averages with per-certificate markers
                 builder.add_map(
@@ -357,10 +522,9 @@ class Indice:
                 caption="One point per certificate (housing-unit zoom).",
             )
 
-        hists = grouped_histograms(table, cfg.response, by="cluster")
-        hists.pop(None, None)
         builder.add_grouped_histogram(
-            hists, cfg.response,
+            analytics.response_histograms(cfg.response),
+            cfg.response,
             caption="Response distribution inside each K-means cluster.",
         )
         builder.add_correlation_matrix(
@@ -374,7 +538,7 @@ class Indice:
                     "(support / confidence / lift / conviction).",
         )
         builder.add_summary_table(
-            summarize_table(table, list(cfg.features) + [cfg.response]),
+            analytics.summary(tuple(cfg.features) + (cfg.response,)),
             caption="Count, mean, standard deviation and quartiles of the "
                     "selected attributes.",
         )

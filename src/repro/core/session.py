@@ -3,11 +3,16 @@
 Every INDICE run records what each tier did — rows in / rows out, methods
 and parameters applied, artifacts produced — so a dashboard can explain
 its own numbers and experiments can audit the pipeline.  The log is
-ordinal (step counter), not wall-clock, which keeps runs reproducible.
+ordinal (step counter), so the *sequence* of steps stays reproducible;
+each step may additionally carry wall-clock timing counters
+(``elapsed_s`` and the derived ``rows_per_s``), which make every stage
+report its throughput without perturbing the ordinal record.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 __all__ = ["ProvenanceStep", "ProvenanceLog"]
@@ -21,13 +26,23 @@ class ProvenanceStep:
     stage: str  # "preprocessing" | "selection" | "analytics" | "visualization"
     action: str
     detail: dict = field(default_factory=dict)
+    #: Wall-clock seconds the step took (None when not timed).
+    elapsed_s: float | None = None
+    #: Rows processed per second (None when not timed or row count unknown).
+    rows_per_s: float | None = None
 
     def describe(self) -> str:
         """Human-readable multi-line description."""
         rendered = ", ".join(f"{k}={v}" for k, v in self.detail.items())
-        return f"[{self.index}] {self.stage}/{self.action}" + (
+        out = f"[{self.index}] {self.stage}/{self.action}" + (
             f" ({rendered})" if rendered else ""
         )
+        if self.elapsed_s is not None:
+            timing = f"{self.elapsed_s * 1000:.0f} ms"
+            if self.rows_per_s is not None:
+                timing += f", {self.rows_per_s:.0f} rows/s"
+            out += f" [{timing}]"
+        return out
 
 
 @dataclass
@@ -36,11 +51,48 @@ class ProvenanceLog:
 
     steps: list[ProvenanceStep] = field(default_factory=list)
 
-    def record(self, stage: str, action: str, **detail) -> ProvenanceStep:
-        """Append one step to the log and return it."""
-        step = ProvenanceStep(len(self.steps), stage, action, detail)
+    def record(
+        self,
+        stage: str,
+        action: str,
+        elapsed_s: float | None = None,
+        rows_per_s: float | None = None,
+        **detail,
+    ) -> ProvenanceStep:
+        """Append one step to the log and return it.
+
+        ``elapsed_s`` / ``rows_per_s`` are reserved timing counters (kept
+        out of ``detail`` so tooling can aggregate them uniformly).
+        """
+        step = ProvenanceStep(
+            len(self.steps), stage, action, detail, elapsed_s, rows_per_s
+        )
         self.steps.append(step)
         return step
+
+    @contextmanager
+    def timed(self, stage: str, action: str, rows: int | None = None, **detail):
+        """Context manager recording *action* with its wall-clock timing.
+
+        ``rows`` (when given) also derives a rows-per-second counter.  The
+        step is appended when the block exits, after the timed work::
+
+            with log.timed("preprocessing", "geospatial_cleaning", rows=n):
+                ...
+        """
+        start = time.perf_counter()
+        yield
+        elapsed = time.perf_counter() - start
+        rate = rows / elapsed if rows is not None and elapsed > 0 else None
+        self.record(stage, action, elapsed_s=elapsed, rows_per_s=rate, **detail)
+
+    def total_elapsed(self, stage: str | None = None) -> float:
+        """Sum of the timed steps' wall-clock seconds (optionally per stage)."""
+        return sum(
+            s.elapsed_s
+            for s in self.steps
+            if s.elapsed_s is not None and (stage is None or s.stage == stage)
+        )
 
     def stages(self) -> list[str]:
         """Distinct stages in execution order."""

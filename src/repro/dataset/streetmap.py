@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..geo.regions import Granularity, Region, RegionHierarchy
+from ..text.levenshtein import GazetteerIndex
 from ..text.normalize import normalize_address
 
 __all__ = ["AddressRecord", "StreetMap", "generate_street_map", "turin_like_hierarchy"]
@@ -121,11 +122,17 @@ class StreetMap:
     """The referenced street map: streets, civics, ZIPs and geolocation.
 
     ``records`` is the flat gazetteer; ``street_names`` the distinct street
-    names; lookup structures are built lazily by the cleaning code, which
-    keeps this class a plain data container.
+    names.  The bucketed Levenshtein index over the street names is built
+    lazily and cached on the instance (:meth:`match_index`): building it
+    costs one pass over the gazetteer, and every
+    :class:`~repro.preprocessing.address_cleaner.AddressCleaner` sharing
+    this map then reuses the same index.
     """
 
     records: list[AddressRecord] = field(default_factory=list)
+    _match_index: GazetteerIndex | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def street_names(self) -> list[str]:
         """Distinct street names, sorted, as stored (already normalized)."""
@@ -137,6 +144,21 @@ class StreetMap:
         for rec in self.records:
             by_street.setdefault(rec.street, []).append(rec)
         return by_street
+
+    def match_index(self) -> GazetteerIndex:
+        """The cached length/first-token index over :meth:`street_names`.
+
+        Candidate order inside the index matches :meth:`street_names`, so
+        matched indices can be mapped straight back to street names.  The
+        cache assumes ``records`` is not mutated after the first call (the
+        generator builds maps once and the pipeline treats them as
+        read-only).
+        """
+        if self._match_index is None or len(self._match_index) != len(
+            set(r.street for r in self.records)
+        ):
+            self._match_index = GazetteerIndex(self.street_names())
+        return self._match_index
 
     def __len__(self) -> int:
         return len(self.records)

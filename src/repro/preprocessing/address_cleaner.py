@@ -30,7 +30,8 @@ import numpy as np
 from ..dataset.streetmap import AddressRecord, StreetMap
 from ..dataset.table import Column, ColumnKind, Table
 from ..geo.distance import equirectangular_km
-from ..text.levenshtein import best_match
+from ..perf.parallel import ParallelMap
+from ..text.levenshtein import GazetteerIndex
 from ..text.normalize import canonical_house_number, normalize_address
 from .geocoder import GeocodeStatus, QuotaExceededError, SimulatedGeocoder
 
@@ -123,6 +124,7 @@ class AddressCleaner:
         street_map: StreetMap,
         config: CleaningConfig | None = None,
         geocoder: SimulatedGeocoder | None = None,
+        executor: ParallelMap | None = None,
     ):
         self.config = config or CleaningConfig()
         if not 0.0 <= self.config.phi <= 1.0:
@@ -130,7 +132,11 @@ class AddressCleaner:
         self._by_street = street_map.records_by_street()
         self._streets = sorted(self._by_street)
         self._street_set = set(self._streets)
+        # sorted(records_by_street) == street_names(), so the shared index
+        # cached on the street map matches self._streets position by position
+        self._index = street_map.match_index()
         self._geocoder = geocoder
+        self.executor = executor or ParallelMap(n_jobs=1)
         if self.config.use_geocoder and geocoder is None:
             self._geocoder = SimulatedGeocoder(street_map)
 
@@ -148,7 +154,7 @@ class AddressCleaner:
             return None, MatchStatus.SKIPPED, 0.0
         if normalized in self._street_set:
             return normalized, MatchStatus.EXACT, 1.0
-        hit = best_match(normalized, self._streets, phi=self.config.phi)
+        hit = self._index.best_match(normalized, phi=self.config.phi)
         if hit is None:
             return None, MatchStatus.UNRESOLVED, 0.0
         index, sim = hit
@@ -174,6 +180,29 @@ class AddressCleaner:
 
     # -- table-level cleaning --------------------------------------------------
 
+    def _resolve_distinct(self, address: np.ndarray) -> dict[str, tuple[str | None, MatchStatus, float]]:
+        """Street resolution for every distinct raw address in *address*.
+
+        This is the Levenshtein-heavy part of :meth:`clean_table`, and it
+        is embarrassingly parallel: resolution touches only the immutable
+        gazetteer index, never the geocoder or its quota.  Distinct values
+        are sharded across the executor; each worker process builds the
+        gazetteer index once (in its initializer) and reuses it for every
+        address it receives.  The serial path resolves inline against the
+        shared index, so both paths return identical mappings.
+        """
+        distinct = list(dict.fromkeys(a for a in address if a is not None))
+        if self.executor.should_parallelize(len(distinct)):
+            resolutions = self.executor.map(
+                _resolve_one_worker,
+                distinct,
+                initializer=_init_resolver_worker,
+                initargs=(self._streets, self.config.phi),
+            )
+        else:
+            resolutions = [self.resolve_street(raw) for raw in distinct]
+        return dict(zip(distinct, resolutions))
+
     def clean_table(self, table: Table) -> CleaningReport:
         """Clean the geospatial attributes of every row of *table*.
 
@@ -181,6 +210,12 @@ class AddressCleaner:
         carry the gazetteer's street name and, depending on the config,
         repaired ZIP, house number and coordinates.  Unresolved rows are
         kept as-is — downstream queries can exclude them via the audit.
+
+        Street resolution for the distinct addresses runs up-front (in
+        parallel when the cleaner's executor allows it); the row loop then
+        only applies resolutions and the strictly sequential pieces —
+        geocoder fallback (quota accounting must stay ordered) and field
+        repair — so parallel output is row-for-row identical to serial.
         """
         cfg = self.config
         n = table.n_rows
@@ -193,17 +228,16 @@ class AddressCleaner:
         audits: list[RowAudit] = []
         geocoder_requests = 0
         quota_exhausted = False
-        # identical raw strings resolve identically; memoize per distinct value
-        resolve_cache: dict[str, tuple[str | None, MatchStatus, float]] = {}
+        # identical raw strings resolve identically; resolved per distinct
+        # value up-front (sharded across workers when the input is large)
+        resolve_cache = self._resolve_distinct(address)
 
         for i in range(n):
             raw = address[i]
-            if raw in resolve_cache:
-                street, status, sim = resolve_cache[raw]
-            else:
+            if raw is None:
                 street, status, sim = self.resolve_street(raw)
-                if raw is not None:
-                    resolve_cache[raw] = (street, status, sim)
+            else:
+                street, status, sim = resolve_cache[raw]
 
             if status is MatchStatus.UNRESOLVED and cfg.use_geocoder and self._geocoder:
                 if not quota_exhausted:
@@ -266,3 +300,38 @@ class AddressCleaner:
             geocoder_requests=geocoder_requests,
             geocoder_quota_exhausted=quota_exhausted,
         )
+
+
+# -- worker-process resolution ------------------------------------------------
+#
+# Per-worker state for the parallel resolution path: each process builds the
+# gazetteer index once (initializer) and reuses it for every sharded address.
+
+_WORKER_STATE: tuple[list[str], set[str], GazetteerIndex, float] | None = None
+
+
+def _init_resolver_worker(streets: list[str], phi: float) -> None:
+    """Build the per-process gazetteer index (ProcessPool initializer)."""
+    global _WORKER_STATE
+    _WORKER_STATE = (streets, set(streets), GazetteerIndex(streets), phi)
+
+
+def _resolve_one_worker(raw: str) -> tuple[str | None, MatchStatus, float]:
+    """Resolve one raw address against the worker's gazetteer index.
+
+    Mirrors :meth:`AddressCleaner.resolve_street` exactly (same
+    normalization, same exact-hit short-circuit, same indexed match), so
+    sharded resolution is bit-identical to the serial path.
+    """
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    streets, street_set, index, phi = _WORKER_STATE
+    normalized = normalize_address(raw)
+    if not normalized:
+        return None, MatchStatus.SKIPPED, 0.0
+    if normalized in street_set:
+        return normalized, MatchStatus.EXACT, 1.0
+    hit = index.best_match(normalized, phi=phi)
+    if hit is None:
+        return None, MatchStatus.UNRESOLVED, 0.0
+    matched, sim = hit
+    return streets[matched], MatchStatus.MATCHED, sim

@@ -22,7 +22,15 @@ implied distance budget abort early.
 
 from __future__ import annotations
 
-__all__ = ["distance", "similarity", "distance_within", "best_match"]
+import numpy as np
+
+__all__ = [
+    "distance",
+    "similarity",
+    "distance_within",
+    "best_match",
+    "GazetteerIndex",
+]
 
 
 def distance(a: str, b: str) -> int:
@@ -150,3 +158,158 @@ def best_match(query: str, candidates: list[str], phi: float = 0.0) -> tuple[int
     if not found:
         return None
     return best_index, best_sim
+
+
+class GazetteerIndex:
+    """A pruning candidate index for repeated best-match queries.
+
+    Scanning a full gazetteer per query (:func:`best_match`) costs one
+    banded DP per candidate.  Most of those candidates can be rejected
+    without running any DP, using two valid lower bounds on the edit
+    distance:
+
+    * **length bound** — ``distance(a, b) >= abs(|a| - |b|)``, so whole
+      length buckets fall outside the phi-implied edit budget
+      ``(1-phi) * max(|a|, |b|)`` at once;
+    * **bag bound** — every edit fixes at most one missing and one surplus
+      character, so ``distance(a, b) >= max(#missing, #surplus)`` over the
+      character multisets; evaluated vectorized per length bucket, it
+      rejects most remaining candidates with one NumPy pass.
+
+    Candidates are bucketed by normalized length and, inside each length,
+    by first token.  A query scans feasible lengths nearest-first and the
+    bucket sharing its first token before the others — a high-similarity
+    candidate found early tightens the running threshold, which shrinks
+    the edit budget for everything after it.  Results are **identical** to
+    the linear :func:`best_match` over the same candidate list (same
+    index, same similarity, same tie-breaks): both bounds only skip
+    candidates whose banded DP would return ``None`` anyway, and ties are
+    resolved toward the lowest candidate index regardless of scan order.
+
+    A per-instance memo caches repeated ``(query, phi)`` lookups, since
+    real EPC collections repeat the same address strings heavily.
+    """
+
+    def __init__(self, candidates: list[str]):
+        self.candidates = list(candidates)
+        self._first_token = [
+            c.split(" ", 1)[0] if c else "" for c in self.candidates
+        ]
+        # character -> column of the count matrices
+        alphabet = sorted({ch for c in self.candidates for ch in c})
+        self._alphabet = {ch: k for k, ch in enumerate(alphabet)}
+        width = max(len(alphabet), 1)
+        # length -> (ascending indices, per-candidate char counts,
+        #            first token -> ascending indices)
+        self._buckets: dict[
+            int, tuple[np.ndarray, np.ndarray, dict[str, list[int]]]
+        ] = {}
+        by_length: dict[int, list[int]] = {}
+        for i, cand in enumerate(self.candidates):
+            by_length.setdefault(len(cand), []).append(i)
+        for lb, idxs in by_length.items():
+            counts = np.zeros((len(idxs), width), dtype=np.int32)
+            by_token: dict[str, list[int]] = {}
+            for row, i in enumerate(idxs):
+                for ch in self.candidates[i]:
+                    counts[row, self._alphabet[ch]] += 1
+                by_token.setdefault(self._first_token[i], []).append(i)
+            self._buckets[lb] = (
+                np.asarray(idxs, dtype=np.intp), counts, by_token
+            )
+        self._memo: dict[tuple[str, float], tuple[int, float] | None] = {}
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    @staticmethod
+    def _length_feasible(la: int, lb: int, phi: float) -> bool:
+        """Whether a candidate of length *lb* can clear *phi* at all."""
+        longest = max(la, lb)
+        return abs(la - lb) <= int((1.0 - phi) * longest + 1e-9)
+
+    def _query_counts(self, query: str) -> tuple[np.ndarray, int]:
+        """Alphabet counts of *query* plus its out-of-alphabet char count."""
+        counts = np.zeros(max(len(self._alphabet), 1), dtype=np.int32)
+        unknown = 0
+        for ch in query:
+            k = self._alphabet.get(ch)
+            if k is None:
+                unknown += 1
+            else:
+                counts[k] += 1
+        return counts, unknown
+
+    def best_match(self, query: str, phi: float = 0.0) -> tuple[int, float] | None:
+        """Like :func:`best_match` over the indexed candidates.
+
+        Returns the same ``(index, similarity)`` (or ``None``) as the
+        linear scan: the maximum similarity >= *phi*, lowest candidate
+        index on ties.
+        """
+        key = (query, phi)
+        hit = self._memo.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
+        result = self._scan(query, phi)
+        self._memo[key] = result
+        return result
+
+    def _scan(self, query: str, phi: float) -> tuple[int, float] | None:
+        la = len(query)
+        first = query.split(" ", 1)[0] if query else ""
+        lengths = sorted(
+            (lb for lb in self._buckets if self._length_feasible(la, lb, phi)),
+            key=lambda lb: (abs(lb - la), lb),
+        )
+        q_counts, q_unknown = self._query_counts(query)
+        best_index = -1
+        best_sim = phi
+        found = False
+
+        def consider(i: int) -> bool:
+            """DP-check candidate *i*; True once an exact match is held."""
+            nonlocal best_index, best_sim, found
+            sim = similarity_at_least(query, self.candidates[i], best_sim)
+            if sim is not None and (
+                not found
+                or sim > best_sim
+                or (sim == best_sim and i < best_index)
+            ):
+                best_index, best_sim, found = i, sim, True
+            return found and best_sim == 1.0
+
+        # pass 1: buckets sharing the query's first token (likeliest to
+        # hold a near-duplicate, so the threshold tightens early)
+        for lb in lengths:
+            for i in self._buckets[lb][2].get(first, ()):
+                if consider(i):
+                    # equality lives in exactly this bucket, scanned in
+                    # ascending index order: first hit = lowest index
+                    return best_index, 1.0
+
+        # pass 2: everything else, bag-bound-filtered per length bucket.
+        # Buckets infeasible at the *running* threshold hold only strictly
+        # worse candidates, so skipping them never changes the outcome.
+        for lb in lengths:
+            if not self._length_feasible(la, lb, best_sim):
+                continue
+            budget = int((1.0 - best_sim) * max(la, lb) + 1e-9)
+            indices, counts, __ = self._buckets[lb]
+            deltas = counts - q_counts
+            surplus = np.where(deltas > 0, deltas, 0).sum(axis=1)
+            missing = np.where(deltas < 0, -deltas, 0).sum(axis=1) + q_unknown
+            feasible = np.maximum(surplus, missing) <= budget
+            for i in indices[feasible]:
+                i = int(i)
+                if self._first_token[i] == first:
+                    continue  # already scanned in pass 1
+                if consider(i):
+                    return best_index, 1.0
+        if not found:
+            return None
+        return best_index, best_sim
+
+
+#: Sentinel distinguishing "memoized None" from "not memoized".
+_MISS = object()

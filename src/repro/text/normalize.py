@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import re
 import unicodedata
+from functools import lru_cache
 
 __all__ = [
     "normalize_address",
@@ -79,17 +80,13 @@ def expand_abbreviations(text: str) -> str:
     return " ".join(ABBREVIATIONS.get(tok, tok) for tok in tokens)
 
 
-def normalize_address(text: str | None) -> str:
-    """Canonical form of a street address.
+@lru_cache(maxsize=65536)
+def _normalize_cached(text: str) -> str:
+    """The (pure) normalization pipeline behind :func:`normalize_address`.
 
-    Lowercases, strips accents, expands abbreviations, removes punctuation
-    and squeezes whitespace.  Returns ``""`` for missing input.
-
-    >>> normalize_address("C.SO Duca degli Abruzzi")
-    'corso duca degli abruzzi'
+    Address strings repeat heavily across EPC certificates, so the cache
+    turns the regex/unicode work into a dictionary lookup on the hot path.
     """
-    if not text:
-        return ""
     out = strip_accents(text).lower().strip()
     # expand dotted abbreviations before stripping punctuation
     out = expand_abbreviations(out)
@@ -97,6 +94,21 @@ def normalize_address(text: str | None) -> str:
     out = expand_abbreviations(out)  # catch forms exposed by punctuation removal
     out = _SPACES_RE.sub(" ", out).strip()
     return out
+
+
+def normalize_address(text: str | None) -> str:
+    """Canonical form of a street address.
+
+    Lowercases, strips accents, expands abbreviations, removes punctuation
+    and squeezes whitespace.  Returns ``""`` for missing input.  Results
+    are memoized (addresses repeat heavily across certificates).
+
+    >>> normalize_address("C.SO Duca degli Abruzzi")
+    'corso duca degli abruzzi'
+    """
+    if not text:
+        return ""
+    return _normalize_cached(text)
 
 
 def split_house_number(address: str) -> tuple[str, str | None]:

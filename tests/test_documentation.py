@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.analytics",
     "repro.dashboard",
     "repro.core",
+    "repro.perf",
 ]
 
 

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.text.levenshtein import (
+    GazetteerIndex,
     best_match,
     distance,
     distance_within,
@@ -78,6 +79,35 @@ class TestDistanceWithin:
         assert distance_within("", "abc", 3) == 3
         assert distance_within("", "abc", 2) is None
 
+    @given(
+        st.text(alphabet="ab", min_size=8, max_size=30),
+        st.text(alphabet="ab", min_size=8, max_size=30),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_banded_early_abort_path(self, a, b, budget):
+        """Small alphabet + long strings + tiny budgets exercise the
+        mid-DP abort (some row minimum exceeds the budget) heavily."""
+        d = distance(a, b)
+        within = distance_within(a, b, budget)
+        if within is not None:
+            assert within == d
+            assert within <= budget
+        else:
+            assert d > budget
+
+    @given(st.text(max_size=15), st.text(max_size=15))
+    @settings(max_examples=100, deadline=None)
+    def test_none_only_when_budget_exceeded(self, a, b):
+        """For every budget, None appears iff the true distance exceeds it."""
+        d = distance(a, b)
+        for budget in (d - 1, d, d + 1):
+            within = distance_within(a, b, budget)
+            if budget < d:
+                assert within is None
+            else:
+                assert within == d
+
 
 class TestSimilarity:
     def test_equal_is_one(self):
@@ -135,6 +165,60 @@ class TestBestMatch:
         idx, sim = best_match("corso duca degli abruzi", cands, phi=0.8)
         assert idx == 0
         assert sim > 0.9
+
+
+_STREET_WORDS = st.sampled_from(
+    ["via", "corso", "roma", "nizza", "francia", "duca", "po", "santa", "rita"]
+)
+_STREETS = st.lists(
+    st.lists(_STREET_WORDS, min_size=1, max_size=3).map(" ".join),
+    min_size=0,
+    max_size=12,
+)
+_QUERIES = st.one_of(
+    st.lists(_STREET_WORDS, min_size=1, max_size=3).map(" ".join),
+    st.text(alphabet="abcorsvia ", max_size=20),
+)
+
+
+class TestGazetteerIndex:
+    @given(_STREETS, _QUERIES, st.sampled_from([0.0, 0.5, 0.8, 0.9, 1.0]))
+    @settings(max_examples=300, deadline=None)
+    def test_equivalent_to_linear_scan(self, streets, query, phi):
+        """The indexed lookup is observationally identical to best_match:
+        same index, same similarity, same tie-breaks, same None."""
+        index = GazetteerIndex(streets)
+        assert index.best_match(query, phi) == best_match(query, streets, phi)
+
+    @given(_STREETS, _QUERIES, st.sampled_from([0.0, 0.8]))
+    @settings(max_examples=100, deadline=None)
+    def test_memo_is_transparent(self, streets, query, phi):
+        index = GazetteerIndex(streets)
+        first = index.best_match(query, phi)
+        assert index.best_match(query, phi) == first  # served from the memo
+
+    def test_exact_match_lowest_index_wins(self):
+        streets = ["via roma", "via po", "via roma"]
+        assert GazetteerIndex(streets).best_match("via roma", 0.8) == (0, 1.0)
+
+    def test_phi_one_rejects_near_misses(self):
+        index = GazetteerIndex(["via roma"])
+        assert index.best_match("via rome", 1.0) is None
+        assert index.best_match("via roma", 1.0) == (0, 1.0)
+
+    def test_empty_gazetteer(self):
+        assert GazetteerIndex([]).best_match("via roma", 0.8) is None
+
+    def test_out_of_alphabet_query_chars(self):
+        # "z"/"9" never occur in the candidates: the unknown-char count
+        # feeds the bag bound but must not break correctness
+        streets = ["via roma", "corso francia"]
+        index = GazetteerIndex(streets)
+        for query in ("via zzz9", "via roma9"):
+            assert index.best_match(query, 0.5) == best_match(query, streets, 0.5)
+
+    def test_len(self):
+        assert len(GazetteerIndex(["a", "b"])) == 2
 
 
 class TestNormalize:
