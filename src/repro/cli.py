@@ -27,6 +27,7 @@ from .dataset import (
     generate_epc_collection,
     write_csv,
 )
+from .faults import FaultInjector, FaultPlan
 
 __all__ = ["main", "build_parser"]
 
@@ -93,6 +94,21 @@ def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", type=Path, default=None, metavar="DIR",
         help="persist stage-cache entries under DIR (reused across runs)",
     )
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="inject deterministic faults for resilience testing: a spec "
+             "string like 'geocoder.request:transient@0.3;seed=7' "
+             "(site:kind[@rate][*times][+after], ';'-separated) or "
+             "'@plan.json' to load a saved plan; reproduces a chaos run "
+             "exactly",
+    )
+
+
+def _make_injector(args: argparse.Namespace) -> FaultInjector | None:
+    """The fault injector requested by ``--fault-plan``, if any."""
+    if not getattr(args, "fault_plan", None):
+        return None
+    return FaultInjector(FaultPlan.load(args.fault_plan))
 
 
 def _apply_perf_arguments(config: IndiceConfig, args: argparse.Namespace) -> IndiceConfig:
@@ -140,13 +156,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = suggest_config(collection.table).config
     else:
         config = IndiceConfig()
-    engine = Indice(collection, _apply_perf_arguments(config, args))
+    engine = Indice(
+        collection, _apply_perf_arguments(config, args),
+        injector=_make_injector(args),
+    )
     granularity = (
         Granularity[args.granularity.upper()] if args.granularity else None
     )
     dashboard = engine.run(Stakeholder(args.stakeholder), granularity)
     path = dashboard.save(args.output)
     print(engine.log.describe())
+    degradations = engine.log.degradations()
+    if degradations:
+        print(f"\n{len(degradations)} degradation(s) under fault injection "
+              "— see the provenance steps above")
     print(f"\ndashboard written to {path}")
     return 0
 
@@ -155,7 +178,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import DashboardServer
 
     collection = _make_collection(args.certificates, args.seed, dirty=True)
-    engine = Indice(collection, _apply_perf_arguments(IndiceConfig(), args))
+    engine = Indice(
+        collection, _apply_perf_arguments(IndiceConfig(), args),
+        injector=_make_injector(args),
+    )
     engine.preprocess()
     engine.analyze()
     DashboardServer(engine).serve(args.host, args.port)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dataset.schema import PAPER_CLUSTERING_FEATURES, PAPER_RESPONSE
+from ..faults.policy import ResiliencePolicy
 from ..preprocessing.address_cleaner import CleaningConfig
 from ..preprocessing.outliers import OutlierMethod
 from ..analytics.rules import RuleConstraints, RuleTemplate
@@ -69,6 +70,11 @@ class IndiceConfig:
     stage_cache: bool = True
     #: Optional directory persisting stage-cache entries across processes.
     cache_dir: str | None = None
+
+    # -- resilience (how failures are absorbed; never changes a successful
+    # run's results, so excluded from stage-cache fingerprints like the
+    # perf knobs) --
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
 
     def __post_init__(self):
         if self.rule_template is None:

@@ -43,6 +43,8 @@ from ..dashboard.maps import (
     cluster_marker_map,
     scatter_map,
 )
+from ..faults.plan import FaultInjector
+from ..faults.policy import Deadline
 from ..geo.regions import Granularity
 from ..perf.cache import StageCache, fingerprint_table, fingerprint_value
 from ..perf.parallel import ParallelMap
@@ -177,6 +179,11 @@ class Indice:
         ``config.cache_dir`` when set); pass an instance to share cached
         stage outcomes across engines, or ``config.stage_cache=False`` to
         disable memoization entirely.
+    injector:
+        Optional :class:`~repro.faults.plan.FaultInjector` threaded
+        through every fault site the engine owns (geocoder, stage cache,
+        parallel executor).  ``None`` (the default) leaves the hooks
+        dormant at the cost of one identity comparison each.
     """
 
     def __init__(
@@ -184,14 +191,16 @@ class Indice:
         collection: EpcCollection,
         config: IndiceConfig | None = None,
         cache: StageCache | None = None,
+        injector: FaultInjector | None = None,
     ):
         self.collection = collection
         self.config = config or IndiceConfig()
         self.log = ProvenanceLog()
+        self.injector = injector
         self.cache = cache
         if self.cache is None and self.config.stage_cache:
-            self.cache = StageCache(self.config.cache_dir)
-        self.executor = ParallelMap(n_jobs=self.config.n_jobs)
+            self.cache = StageCache(self.config.cache_dir, injector=injector)
+        self.executor = ParallelMap(n_jobs=self.config.n_jobs, injector=injector)
         self._preprocessed: PreprocessingOutcome | None = None
         self._analyzed: AnalyticsOutcome | None = None
 
@@ -200,6 +209,37 @@ class Indice:
         return fingerprint_value(
             {name: getattr(self.config, name) for name in fields}
         )
+
+    # -- resilient cache access (degradations logged, never raised) -------
+
+    def _cache_get(self, stage: str, key: str):
+        """``cache.get`` with read failures recorded as degradations."""
+        errors_before = self.cache.read_errors
+        found, value = self.cache.get(key)
+        if self.cache.read_errors > errors_before:
+            self.log.record(
+                stage, "degradation",
+                kind="cache_read_failed",
+                detail="corrupt or unreadable stage-cache entry treated "
+                "as a miss; stage recomputed (results unchanged)",
+            )
+        return found, value
+
+    def _cache_put(self, stage: str, key: str, value) -> None:
+        """``cache.put`` with write failures recorded as degradations."""
+        errors_before = self.cache.write_errors
+        self.cache.put(key, value)
+        if self.cache.write_errors > errors_before:
+            self.log.record(
+                stage, "degradation",
+                kind="cache_write_failed",
+                detail="stage-cache entry could not be persisted; "
+                "kept in memory only",
+            )
+
+    def _stage_deadline(self) -> Deadline:
+        """A fresh deadline from the configured per-stage budget."""
+        return Deadline(self.config.resilience.stage_timeout_s)
 
     # ------------------------------------------------------------------
     # Tier 1: data pre-processing
@@ -218,6 +258,7 @@ class Indice:
         table = table if table is not None else self.collection.table
         n_in = table.n_rows
         start = time.perf_counter()
+        deadline = self._stage_deadline()
 
         cache_key = None
         if self.cache is not None:
@@ -226,7 +267,7 @@ class Indice:
                 fingerprint_table(table),
                 self._config_fingerprint(_PREPROCESS_FIELDS),
             )
-            found, cached = self.cache.get(cache_key)
+            found, cached = self._cache_get("preprocessing", cache_key)
             if found:
                 elapsed = time.perf_counter() - start
                 self.log.record(
@@ -260,11 +301,14 @@ class Indice:
         city_mask = Comparison("city", "==", cfg.city).mask(table)
         city_rows = np.flatnonzero(city_mask)
         geocoder = SimulatedGeocoder(
-            self.collection.street_map, quota=cfg.geocoder_quota
+            self.collection.street_map, quota=cfg.geocoder_quota,
+            injector=self.injector,
         )
         cleaner = AddressCleaner(
             self.collection.street_map, cfg.cleaning, geocoder,
             executor=self.executor,
+            retry=cfg.resilience.retry_policy(seed=cfg.seed),
+            breaker=cfg.resilience.breaker(),
         )
         clean_start = time.perf_counter()
         report = cleaner.clean_table(table.take(city_rows))
@@ -282,6 +326,8 @@ class Indice:
             resolution_rate=round(report.resolution_rate(), 4),
             geocoder_requests=report.geocoder_requests,
         )
+        for degradation in report.degradations:
+            self.log.record("preprocessing", "degradation", **degradation)
         cleaned = self._scatter_cleaned(table, report.table, city_rows)
 
         analysis_attributes = tuple(cfg.features) + (cfg.response,)
@@ -301,8 +347,27 @@ class Indice:
             )
         filtered = cleaned.where(keep)
 
+        #: Degradations that change what the stage outputs (as opposed to
+        #: recoveries like a cache miss or serial fallback).  A degraded
+        #: outcome is never cached: the cache key promises the fault-free
+        #: result, and serving a degraded one from cache would be silent.
+        output_degraded = any(
+            d["kind"].startswith("geocoder_") for d in report.degradations
+        )
+
         noise_mask = None
-        if cfg.run_multivariate_outliers:
+        if cfg.run_multivariate_outliers and deadline.expired():
+            output_degraded = True
+            # the optional DBSCAN pass is the first thing shed under time
+            # pressure; the mandatory cleaning/filtering above always runs
+            self.log.record(
+                "preprocessing", "degradation",
+                kind="deadline_exceeded",
+                detail="stage budget spent; multivariate outlier pass "
+                "skipped (univariate filtering already applied)",
+                budget_s=cfg.resilience.stage_timeout_s,
+            )
+        elif cfg.run_multivariate_outliers:
             matrix, __ = standardize(filtered.to_matrix(list(cfg.features)))
             estimate = estimate_dbscan_params(matrix)
             result = dbscan(matrix, estimate.eps, estimate.min_points)
@@ -331,8 +396,8 @@ class Indice:
             rows_per_s=n_in / elapsed if elapsed > 0 else None,
             rows_in=n_in, rows_out=filtered.n_rows,
         )
-        if cache_key is not None:
-            self.cache.put(cache_key, outcome)
+        if cache_key is not None and not output_degraded:
+            self._cache_put("preprocessing", cache_key, outcome)
         self._preprocessed = outcome
         return outcome
 
@@ -361,6 +426,7 @@ class Indice:
         cfg = self.config
         table = table if table is not None else self.select_case_study()
         start = time.perf_counter()
+        deadline = self._stage_deadline()
 
         cache_key = None
         if self.cache is not None:
@@ -369,7 +435,7 @@ class Indice:
                 fingerprint_table(table),
                 self._config_fingerprint(_ANALYZE_FIELDS),
             )
-            found, cached = self.cache.get(cache_key)
+            found, cached = self._cache_get("analytics", cache_key)
             if found:
                 elapsed = time.perf_counter() - start
                 self.log.record(
@@ -426,10 +492,25 @@ class Indice:
             plan={k: v for k, v in plan.items()},
         )
 
-        miner = RuleMiner(cfg.rule_constraints, cfg.rule_template)
-        rule_attributes = [n for n in plan if n != cfg.response] + [cfg.response]
-        rules = miner.mine(discretized, rule_attributes)
-        self.log.record("analytics", "rules", mined=len(rules))
+        output_degraded = False
+        if deadline.expired():
+            # rule mining is the sheddable tail of the analytics stage;
+            # clustering and correlation (which every dashboard panel
+            # needs) always run
+            rules: list[AssociationRule] = []
+            output_degraded = True
+            self.log.record(
+                "analytics", "degradation",
+                kind="deadline_exceeded",
+                detail="stage budget spent; association-rule mining "
+                "skipped (dashboards render an empty rules table)",
+                budget_s=cfg.resilience.stage_timeout_s,
+            )
+        else:
+            miner = RuleMiner(cfg.rule_constraints, cfg.rule_template)
+            rule_attributes = [n for n in plan if n != cfg.response] + [cfg.response]
+            rules = miner.mine(discretized, rule_attributes)
+            self.log.record("analytics", "rules", mined=len(rules))
 
         outcome = AnalyticsOutcome(
             table=with_clusters,
@@ -445,8 +526,8 @@ class Indice:
             rows_per_s=table.n_rows / elapsed if elapsed > 0 else None,
             rows=table.n_rows,
         )
-        if cache_key is not None:
-            self.cache.put(cache_key, outcome)
+        if cache_key is not None and not output_degraded:
+            self._cache_put("analytics", cache_key, outcome)
         self._analyzed = outcome
         return outcome
 

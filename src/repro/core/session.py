@@ -106,6 +106,15 @@ class ProvenanceLog:
         """The steps recorded under *stage*, in order."""
         return [s for s in self.steps if s.stage == stage]
 
+    def degradations(self) -> list[ProvenanceStep]:
+        """Every recorded degradation (graceful fallbacks under faults).
+
+        A pipeline run under fault injection must satisfy: outputs are
+        bit-identical to the fault-free run, *or* this list is non-empty.
+        Degradations are never silent.
+        """
+        return [s for s in self.steps if s.action == "degradation"]
+
     def describe(self) -> str:
         """Human-readable multi-line description."""
         return "\n".join(s.describe() for s in self.steps)

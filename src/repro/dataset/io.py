@@ -7,6 +7,13 @@ infers them: a column whose non-empty values all parse as floats is numeric,
 anything else is categorical (use ``text_columns`` to force free-text kind).
 
 Missing values are written as empty fields and read back as missing.
+
+Both functions carry an injection hook (the ``dataset.read`` /
+``dataset.write`` fault sites) so the chaos harness can simulate an
+unreadable open-data dump or a full disk; an injected fault surfaces as
+:class:`~repro.faults.plan.InjectedIOError` (an ``OSError``), exactly
+like the real failure it stands in for, so callers recover with the same
+``retry_with_backoff`` they would use in production.
 """
 
 from __future__ import annotations
@@ -16,12 +23,15 @@ from pathlib import Path
 
 import numpy as np
 
+from ..faults.plan import DATASET_READ, DATASET_WRITE, FaultInjector
 from .table import Column, ColumnKind, Table
 
 __all__ = ["write_csv", "read_csv"]
 
 
-def write_csv(table: Table, path: str | Path) -> None:
+def write_csv(
+    table: Table, path: str | Path, injector: FaultInjector | None = None
+) -> None:
     """Write *table* to *path* with a header row.
 
     Numeric missing (NaN) and categorical missing (None) both become empty
@@ -29,6 +39,8 @@ def write_csv(table: Table, path: str | Path) -> None:
     ``.0`` only when the column holds integers exclusively, keeping output
     stable for identifier-like columns.
     """
+    if injector is not None:
+        injector.fire(DATASET_WRITE)
     path = Path(path)
     names = table.column_names
     with path.open("w", newline="", encoding="utf-8") as handle:
@@ -70,6 +82,7 @@ def read_csv(
     path: str | Path,
     kinds: dict[str, ColumnKind] | None = None,
     text_columns: tuple[str, ...] = (),
+    injector: FaultInjector | None = None,
 ) -> Table:
     """Read a CSV written by :func:`write_csv` (or any headered CSV).
 
@@ -77,6 +90,8 @@ def read_csv(
     TEXT kind for the named columns (inference cannot distinguish free text
     from categorical).
     """
+    if injector is not None:
+        injector.fire(DATASET_READ)
     path = Path(path)
     with path.open("r", newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)

@@ -1,0 +1,72 @@
+"""Fault injection and resilience policies for the INDICE pipeline.
+
+A production deployment of the framework lives on dependencies that fail:
+the metered geocoding service times out or runs out of quota, the on-disk
+stage cache gets truncated by a crashed writer, a process-pool worker dies
+mid-chunk, the CSV open-data dump is unreadable.  This package gives the
+pipeline two things:
+
+* :mod:`repro.faults.plan` — *deterministic* fault injection.  A
+  :class:`FaultPlan` names the sites where failures appear (``
+  geocoder.request``, ``cache.read``, ``parallel.worker``, ...) and a
+  seeded :class:`FaultInjector` decides, reproducibly, which arrivals at
+  each site actually fail.  The hooks threaded through the pipeline are
+  ``if injector is None`` guards — free when injection is off.
+* :mod:`repro.faults.policy` — recovery policies: decorrelated-jitter
+  :func:`retry_with_backoff`, per-stage :class:`Deadline` budgets and a
+  :class:`CircuitBreaker` for the geocoder, plus the
+  :class:`ResiliencePolicy` bundle of knobs carried by ``IndiceConfig``.
+
+The contract enforced by the chaos harness (``tests/test_chaos_pipeline.py``):
+every injected fault either *recovers* (outputs bit-identical to the
+fault-free run) or *degrades gracefully* with the degradation recorded in
+the provenance log — never a silent difference, never a crash.
+"""
+
+from .plan import (
+    CACHE_READ,
+    CACHE_WRITE,
+    DATASET_READ,
+    DATASET_WRITE,
+    GEOCODER_REQUEST,
+    PARALLEL_WORKER,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedIOError,
+    TransientServiceError,
+    WorkerCrashError,
+)
+from .policy import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    ResiliencePolicy,
+    RetryPolicy,
+    retry_with_backoff,
+)
+
+__all__ = [
+    "CACHE_READ",
+    "CACHE_WRITE",
+    "DATASET_READ",
+    "DATASET_WRITE",
+    "GEOCODER_REQUEST",
+    "PARALLEL_WORKER",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedIOError",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "TransientServiceError",
+    "WorkerCrashError",
+    "retry_with_backoff",
+]

@@ -1,0 +1,253 @@
+"""Recovery policies: retry with backoff, deadlines, circuit breaking.
+
+These are the other half of the resilience tier: :mod:`repro.faults.plan`
+makes dependencies fail on purpose; this module is how the pipeline
+survives them.
+
+* :func:`retry_with_backoff` — retries a callable on transient errors
+  with *decorrelated jitter* (AWS architecture blog): each delay is drawn
+  uniformly from ``[base, 3 * previous]`` and capped, which spreads
+  retrying clients apart instead of synchronizing them.  Seeded, so a
+  chaos run's retry schedule is reproducible.
+* :class:`Deadline` — a monotonic time budget for a pipeline stage;
+  optional stages are skipped (and the skip logged) once it expires.
+* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive
+  failures the circuit opens and calls are refused outright for
+  ``recovery_s`` seconds, then one probe is allowed (half-open).  This is
+  what keeps an exhausted geocoder from stalling the whole cleaning pass
+  behind per-row retry storms.
+* :class:`ResiliencePolicy` — the bundle of knobs carried by
+  ``IndiceConfig`` so every engine stage shares one retry/breaker
+  configuration.
+
+Every class takes an injectable clock (and the retry loop an injectable
+``sleep``), so tests run in virtual time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "RetryPolicy",
+    "retry_with_backoff",
+    "Deadline",
+    "DeadlineExceeded",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A stage ran past its time budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts."""
+
+    retries: int = 3
+    base_delay_s: float = 0.02
+    max_delay_s: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries}")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError(
+                "delays must satisfy 0 <= base_delay_s <= max_delay_s"
+            )
+
+    def delays(self) -> list[float]:
+        """The (seeded, deterministic) sleep schedule of a full retry run."""
+        rng = np.random.default_rng(self.seed)
+        out: list[float] = []
+        delay = self.base_delay_s
+        for __ in range(self.retries):
+            delay = min(
+                self.max_delay_s,
+                float(rng.uniform(self.base_delay_s, max(delay * 3, self.base_delay_s))),
+            )
+            out.append(delay)
+        return out
+
+
+def retry_with_backoff(
+    func: Callable[[], Any],
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    deadline: "Deadline | None" = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> Any:
+    """Call *func*, retrying on *retry_on* with decorrelated-jitter backoff.
+
+    The last exception is re-raised once ``policy.retries`` retries are
+    spent or *deadline* expires; *on_retry* (when given) observes each
+    retried failure as ``(attempt_index, exception)``.
+    """
+    policy = policy or RetryPolicy()
+    schedule = policy.delays()
+    for attempt in range(policy.retries + 1):
+        try:
+            return func()
+        except retry_on as exc:
+            if attempt >= policy.retries:
+                raise
+            if deadline is not None and deadline.expired():
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(schedule[attempt])
+
+
+class Deadline:
+    """A monotonic time budget.
+
+    ``Deadline(None)`` never expires, so callers can thread one object
+    through unconditionally.
+    """
+
+    def __init__(
+        self,
+        budget_s: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.budget_s = budget_s
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was created."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` for an unbounded deadline; floored at 0)."""
+        if self.budget_s is None:
+            return float("inf")
+        return max(0.0, self.budget_s - self.elapsed())
+
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.budget_s:g}s budget"
+            )
+
+
+class CircuitBreaker:
+    """Classic three-state breaker (closed / open / half-open).
+
+    ``allow()`` answers "may I attempt the call?"; callers report the
+    outcome via ``record_success()`` / ``record_failure()``.  While open,
+    every ``allow()`` refuses until ``recovery_s`` has passed, after which
+    exactly one probe call is let through (half-open); its outcome closes
+    or re-opens the circuit.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """The current circuit state."""
+        if self._opened_at is None:
+            return self.CLOSED
+        if self._probing or (
+            self._clock() - self._opened_at >= self.recovery_s
+        ):
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allow(self) -> bool:
+        """Whether a call may be attempted right now."""
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            return False  # one probe already in flight this recovery window
+        if self._clock() - self._opened_at >= self.recovery_s:
+            self._probing = True  # half-open: admit a single probe
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A call succeeded: close the circuit and reset the counters."""
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """A call failed: count it, opening the circuit at the threshold."""
+        self._consecutive_failures += 1
+        if self._probing or self._consecutive_failures >= self.failure_threshold:
+            if self._opened_at is None or self._probing:
+                self.times_opened += 1
+            self._opened_at = self._clock()
+            self._probing = False
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The engine-level resilience knobs (carried by ``IndiceConfig``).
+
+    These never change what a *successful* pipeline run computes — only
+    how failures are absorbed — so they are excluded from stage-cache
+    fingerprints, like the perf knobs.
+    """
+
+    #: Retries per geocoder request on a transient failure.
+    geocoder_retries: int = 3
+    #: First backoff delay (decorrelated jitter grows it, capped below).
+    retry_base_delay_s: float = 0.02
+    #: Backoff cap.
+    retry_max_delay_s: float = 0.25
+    #: Consecutive geocoder failures before the circuit opens.
+    breaker_threshold: int = 3
+    #: Seconds the circuit stays open before admitting a probe request.
+    breaker_recovery_s: float = 30.0
+    #: Wall-clock budget per pipeline stage (None = unbounded).  On expiry
+    #: the stage finishes its mandatory steps and skips optional ones
+    #: (multivariate outliers, rule mining), recording the degradation.
+    stage_timeout_s: float | None = None
+
+    def retry_policy(self, seed: int = 0) -> RetryPolicy:
+        """The :class:`RetryPolicy` equivalent of these knobs."""
+        return RetryPolicy(
+            retries=self.geocoder_retries,
+            base_delay_s=self.retry_base_delay_s,
+            max_delay_s=self.retry_max_delay_s,
+            seed=seed,
+        )
+
+    def breaker(self) -> CircuitBreaker:
+        """A fresh :class:`CircuitBreaker` configured from these knobs."""
+        return CircuitBreaker(
+            failure_threshold=self.breaker_threshold,
+            recovery_s=self.breaker_recovery_s,
+        )

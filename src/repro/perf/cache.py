@@ -21,13 +21,16 @@ import dataclasses
 import enum
 import hashlib
 import json
+import os
 import pickle
+import tempfile
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
 from ..dataset.table import ColumnKind, Table
+from ..faults.plan import CACHE_READ, CACHE_WRITE, FaultInjector, FaultKind
 
 __all__ = [
     "StageCache",
@@ -36,8 +39,9 @@ __all__ = [
     "fingerprint_value",
 ]
 
-#: Config fields that affect performance but never results.
-PERF_ONLY_FIELDS = ("n_jobs", "stage_cache", "cache_dir")
+#: Config fields that affect performance (or failure handling) but never
+#: the results of a successful run.
+PERF_ONLY_FIELDS = ("n_jobs", "stage_cache", "cache_dir", "resilience")
 
 
 def _canonical(obj: Any) -> Any:
@@ -119,9 +123,22 @@ class StageCache:
     build keys from fingerprints of *every* input that can change the
     outcome (that is what :func:`fingerprint_table` and
     :func:`fingerprint_config` are for).
+
+    Disk entries are written atomically (unique temp file + ``os.replace``)
+    so a crashed writer can never leave a half-written ``.pkl`` behind,
+    and *every* disk failure is absorbed: an unreadable, truncated or
+    corrupted entry counts as a miss (``read_errors``), a failed write
+    keeps the value in memory only (``write_errors``).  A cache must never
+    be able to abort the stage it accelerates.  The optional *injector*
+    simulates exactly those failures at the ``cache.read`` /
+    ``cache.write`` fault sites.
     """
 
-    def __init__(self, directory: str | Path | None = None):
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        injector: FaultInjector | None = None,
+    ):
         self._memory: dict[str, Any] = {}
         self.directory = Path(directory) if directory else None
         if self.directory is not None:
@@ -130,8 +147,11 @@ class StageCache:
                     f"cache directory {self.directory} exists and is not a directory"
                 )
             self.directory.mkdir(parents=True, exist_ok=True)
+        self._injector = injector
         self.hits = 0
         self.misses = 0
+        self.read_errors = 0
+        self.write_errors = 0
 
     @staticmethod
     def key(stage: str, *fingerprints: str) -> str:
@@ -154,18 +174,38 @@ class StageCache:
         path = self.directory / f"{key}.pkl"
         return path if path.exists() else None
 
+    def _disk_read(self, key: str) -> tuple[bool, Any]:
+        """``(found, value)`` from disk; every failure is a counted miss."""
+        if self.directory is None:
+            return False, None
+        path = self.directory / f"{key}.pkl"
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return False, None
+        except OSError:  # unreadable entry (permissions, disk error)
+            self.read_errors += 1
+            return False, None
+        if self._injector is not None:
+            kind = self._injector.arrive(CACHE_READ)
+            if kind is FaultKind.IO_ERROR:
+                self.read_errors += 1
+                return False, None
+            if kind is not None:
+                data = FaultInjector.mangle(data, kind)
+        try:
+            return True, pickle.loads(data)
+        except Exception:  # corrupt / truncated entry: treat as a miss
+            self.read_errors += 1
+            return False, None
+
     def get(self, key: str) -> tuple[bool, Any]:
         """``(found, value)`` for *key*; counts a hit or a miss."""
         if key in self._memory:
             self.hits += 1
             return True, self._memory[key]
-        path = self._disk_path(key)
-        if path is not None:
-            try:
-                value = pickle.loads(path.read_bytes())
-            except Exception:  # corrupt entry: treat as a miss
-                self.misses += 1
-                return False, None
+        found, value = self._disk_read(key)
+        if found:
             self._memory[key] = value
             self.hits += 1
             return True, value
@@ -173,12 +213,40 @@ class StageCache:
         return False, None
 
     def put(self, key: str, value: Any) -> None:
-        """Store *value* under *key* (memory, plus disk when configured)."""
+        """Store *value* under *key* (memory, plus disk when configured).
+
+        The disk write is atomic — a unique temp file in the cache
+        directory, then ``os.replace`` — so readers (and crashed writers)
+        can never observe a partial entry under the final name.  Disk
+        failures are swallowed into ``write_errors``: the entry stays
+        served from memory and the stage carries on.
+        """
         self._memory[key] = value
-        if self.directory is not None:
-            tmp = self.directory / f"{key}.pkl.tmp"
-            tmp.write_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
-            tmp.replace(self.directory / f"{key}.pkl")
+        if self.directory is None:
+            return
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if self._injector is not None:
+            kind = self._injector.arrive(CACHE_WRITE)
+            if kind is FaultKind.IO_ERROR:
+                self.write_errors += 1
+                return
+            if kind is not None:  # silently-corrupting write: caught on read
+                data = FaultInjector.mangle(data, kind)
+        tmp_name = None
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=f"{key}.", suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, self.directory / f"{key}.pkl")
+        except OSError:
+            self.write_errors += 1
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
 
     def clear(self) -> None:
         """Drop every in-memory entry (disk entries are left alone)."""

@@ -15,16 +15,27 @@ Design points:
   ``min_parallel_items`` the map runs inline (after calling the
   initializer locally), so small inputs never pay process start-up costs
   and single-job configurations stay exactly as debuggable as before;
+* **crash resilience** — a worker process dying (a broken pool, or an
+  injected :class:`~repro.faults.plan.WorkerCrashError`) does not fail the
+  map: the whole input is recomputed serially and the degradation is
+  counted in ``fallbacks`` for the caller to log.  Exceptions raised by
+  the *mapped function itself* still propagate unchanged — a crash of the
+  infrastructure is recoverable, a bug in the computation is not;
 * **determinism** — the parallel path computes the same function on the
-  same items; only scheduling changes, never results.
+  same items; only scheduling changes, never results.  The serial
+  fallback therefore returns bit-identical output.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
+
+from ..faults.plan import PARALLEL_WORKER, FaultInjector, FaultKind, WorkerCrashError
 
 __all__ = ["ParallelMap"]
 
@@ -34,10 +45,23 @@ DEFAULT_MIN_PARALLEL_ITEMS = 512
 #: Chunks per worker: >1 so uneven chunks still balance across the pool.
 _CHUNKS_PER_JOB = 4
 
+#: Seconds an injected straggler chunk sleeps before doing its work.
+_INJECTED_STRAGGLER_S = 0.05
 
-def _run_chunk(payload: tuple[Callable[[Any], Any], list]) -> list:
-    """Apply ``func`` to every item of one chunk (runs inside a worker)."""
-    func, chunk = payload
+
+def _run_chunk(payload: tuple[Callable[[Any], Any], list, str | None]) -> list:
+    """Apply ``func`` to every item of one chunk (runs inside a worker).
+
+    *fault* is the injected behaviour decided (deterministically) in the
+    parent before dispatch: ``"crash"`` kills the chunk, ``"delay"`` makes
+    it a straggler.  Keeping the decision in the parent means the injector
+    never has to cross the process boundary.
+    """
+    func, chunk, fault = payload
+    if fault == "crash":
+        raise WorkerCrashError("injected worker crash")
+    if fault == "delay":
+        time.sleep(_INJECTED_STRAGGLER_S)
     return [func(item) for item in chunk]
 
 
@@ -55,11 +79,21 @@ class ParallelMap:
         about ``_CHUNKS_PER_JOB`` of them.
     min_parallel_items:
         Inputs smaller than this run serially even when ``n_jobs > 1``.
+    injector:
+        Optional fault injector watching the ``parallel.worker`` site
+        (one arrival per dispatched chunk).
     """
 
     n_jobs: int = 1
     chunk_size: int | None = None
     min_parallel_items: int = DEFAULT_MIN_PARALLEL_ITEMS
+    injector: FaultInjector | None = None
+
+    def __post_init__(self):
+        #: Times the parallel path crashed and was recomputed serially.
+        self.fallbacks = 0
+        #: Human-readable reason of the most recent fallback (or None).
+        self.last_fallback_reason: str | None = None
 
     def resolve_jobs(self) -> int:
         """The effective worker count (``0``/negative -> all cores)."""
@@ -80,6 +114,17 @@ class ParallelMap:
         size = self.chunk_size or max(1, -(-n // (jobs * _CHUNKS_PER_JOB)))
         return [list(items[i : i + size]) for i in range(0, n, size)]
 
+    def _chunk_fault(self) -> str | None:
+        """The injected behaviour of the next dispatched chunk, if any."""
+        if self.injector is None:
+            return None
+        kind = self.injector.arrive(PARALLEL_WORKER)
+        if kind is FaultKind.CRASH:
+            return "crash"
+        if kind is FaultKind.DELAY:
+            return "delay"
+        return None
+
     def map(
         self,
         func: Callable[[Any], Any],
@@ -93,6 +138,11 @@ class ParallelMap:
         is taken; *initializer* runs once per worker before any chunk (and
         once inline on the serial path), so it is the place to build
         expensive shared state.  Results always come back in input order.
+
+        If the pool itself fails — a worker process dies, the pool breaks —
+        the whole map is recomputed serially (bit-identical results) and
+        ``fallbacks`` is incremented so the caller can record the
+        degradation.  Exceptions raised by *func* propagate unchanged.
         """
         items = list(items)
         if not items or not self.should_parallelize(len(items)):
@@ -100,10 +150,18 @@ class ParallelMap:
                 initializer(*initargs)
             return [func(item) for item in items]
         chunks = self.shard(items)
-        with ProcessPoolExecutor(
-            max_workers=min(self.resolve_jobs(), len(chunks)),
-            initializer=initializer,
-            initargs=initargs,
-        ) as pool:
-            results = list(pool.map(_run_chunk, [(func, c) for c in chunks]))
+        payloads = [(func, chunk, self._chunk_fault()) for chunk in chunks]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.resolve_jobs(), len(chunks)),
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                results = list(pool.map(_run_chunk, payloads))
+        except (WorkerCrashError, BrokenProcessPool, OSError) as exc:
+            self.fallbacks += 1
+            self.last_fallback_reason = f"{type(exc).__name__}: {exc}"
+            if initializer is not None:
+                initializer(*initargs)
+            return [func(item) for item in items]
         return [item for chunk in results for item in chunk]

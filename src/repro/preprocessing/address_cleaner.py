@@ -23,12 +23,15 @@ against the noise log.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..dataset.streetmap import AddressRecord, StreetMap
 from ..dataset.table import Column, ColumnKind, Table
+from ..faults.plan import TransientServiceError
+from ..faults.policy import CircuitBreaker, RetryPolicy, retry_with_backoff
 from ..geo.distance import equirectangular_km
 from ..perf.parallel import ParallelMap
 from ..text.levenshtein import GazetteerIndex
@@ -82,12 +85,24 @@ class RowAudit:
 
 @dataclass
 class CleaningReport:
-    """The cleaned table plus the full audit trail."""
+    """The cleaned table plus the full audit trail.
+
+    ``degradations`` lists every way the pass fell short of full service
+    (geocoder quota exhausted mid-batch, circuit opened, retries
+    exhausted, parallel tier fell back to serial), each as a dict with at
+    least a ``kind`` key — the engine copies them into the provenance log
+    so no degradation is ever silent.
+    """
 
     table: Table
     audits: list[RowAudit] = field(default_factory=list)
     geocoder_requests: int = 0
     geocoder_quota_exhausted: bool = False
+    degradations: list[dict] = field(default_factory=list)
+    #: Rows whose geocoder fallback failed transiently even after retries.
+    geocoder_transient_failures: int = 0
+    #: Rows that skipped the geocoder because the circuit was open.
+    rows_skipped_by_open_circuit: int = 0
 
     def counts_by_status(self) -> dict[MatchStatus, int]:
         """Number of audited rows per match status."""
@@ -125,6 +140,9 @@ class AddressCleaner:
         config: CleaningConfig | None = None,
         geocoder: SimulatedGeocoder | None = None,
         executor: ParallelMap | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        sleep=time.sleep,
     ):
         self.config = config or CleaningConfig()
         if not 0.0 <= self.config.phi <= 1.0:
@@ -137,6 +155,9 @@ class AddressCleaner:
         self._index = street_map.match_index()
         self._geocoder = geocoder
         self.executor = executor or ParallelMap(n_jobs=1)
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self._sleep = sleep
         if self.config.use_geocoder and geocoder is None:
             self._geocoder = SimulatedGeocoder(street_map)
 
@@ -228,9 +249,14 @@ class AddressCleaner:
         audits: list[RowAudit] = []
         geocoder_requests = 0
         quota_exhausted = False
+        transient_failures = 0
+        circuit_skipped = 0
+        rows_after_quota = 0
         # identical raw strings resolve identically; resolved per distinct
         # value up-front (sharded across workers when the input is large)
+        fallbacks_before = self.executor.fallbacks
         resolve_cache = self._resolve_distinct(address)
+        parallel_fell_back = self.executor.fallbacks > fallbacks_before
 
         for i in range(n):
             raw = address[i]
@@ -240,16 +266,36 @@ class AddressCleaner:
                 street, status, sim = resolve_cache[raw]
 
             if status is MatchStatus.UNRESOLVED and cfg.use_geocoder and self._geocoder:
-                if not quota_exhausted:
+                # Resilient fallback: the metered service is retried with
+                # backoff on transient failures; repeated failures open the
+                # circuit and later rows degrade to Levenshtein-only (the
+                # row simply stays UNRESOLVED).  Quota exhaustion mid-batch
+                # never discards work: rows already geocoded keep their
+                # resolution, the remainder stays unresolved and counted.
+                if quota_exhausted:
+                    rows_after_quota += 1
+                elif not self.breaker.allow():
+                    circuit_skipped += 1
+                else:
                     try:
-                        response = self._geocoder.geocode(raw, house_number[i])
+                        response = retry_with_backoff(
+                            lambda: self._geocoder.geocode(raw, house_number[i]),
+                            policy=self.retry,
+                            retry_on=(TransientServiceError,),
+                            sleep=self._sleep,
+                        )
                         geocoder_requests += 1
+                        self.breaker.record_success()
                         if response.status == GeocodeStatus.OK and response.record:
                             street = response.record.street
                             status = MatchStatus.GEOCODED
                             sim = response.confidence
+                    except TransientServiceError:
+                        transient_failures += 1
+                        self.breaker.record_failure()
                     except QuotaExceededError:
                         quota_exhausted = True
+                        rows_after_quota += 1
 
             if street is None:
                 audits.append(RowAudit(i, status, sim, raw))
@@ -294,11 +340,51 @@ class AddressCleaner:
             .with_column(Column("longitude", ColumnKind.NUMERIC, lon))
             .select(table.column_names)
         )
+        degradations: list[dict] = []
+        if parallel_fell_back:
+            degradations.append(
+                {
+                    "kind": "parallel_fallback",
+                    "detail": "worker pool failed; address resolution "
+                    "recomputed serially (results unchanged)",
+                    "reason": self.executor.last_fallback_reason,
+                }
+            )
+        if quota_exhausted:
+            degradations.append(
+                {
+                    "kind": "geocoder_quota_exhausted",
+                    "detail": "geocoding quota spent mid-batch; "
+                    "already-resolved rows kept, remainder left unresolved",
+                    "rows_not_attempted": rows_after_quota,
+                }
+            )
+        if transient_failures:
+            degradations.append(
+                {
+                    "kind": "geocoder_transient_failures",
+                    "detail": "geocoder requests still failing after "
+                    f"{self.retry.retries} retries; rows left unresolved",
+                    "rows": transient_failures,
+                }
+            )
+        if circuit_skipped:
+            degradations.append(
+                {
+                    "kind": "geocoder_circuit_open",
+                    "detail": "geocoder circuit breaker open; rows degraded "
+                    "to Levenshtein-only resolution",
+                    "rows": circuit_skipped,
+                }
+            )
         return CleaningReport(
             table=cleaned,
             audits=audits,
             geocoder_requests=geocoder_requests,
             geocoder_quota_exhausted=quota_exhausted,
+            degradations=degradations,
+            geocoder_transient_failures=transient_failures,
+            rows_skipped_by_open_circuit=circuit_skipped,
         )
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..dataset.streetmap import AddressRecord, StreetMap
+from ..faults.plan import GEOCODER_REQUEST, FaultInjector, FaultKind, TransientServiceError
 from ..text.levenshtein import similarity
 from ..text.normalize import canonical_house_number, normalize_address, split_house_number
 
@@ -94,6 +95,11 @@ class SimulatedGeocoder:
         (production geocoders confidently mis-resolve some queries).
     seed:
         Seed for the error process, making runs reproducible.
+    injector:
+        Optional fault injector watching the ``geocoder.request`` site:
+        a ``transient`` fault makes the request fail retryably (without
+        consuming quota, like a timed-out call), a ``quota`` fault
+        exhausts the remaining quota on the spot.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class SimulatedGeocoder:
         quota: int = 2500,
         error_rate: float = 0.02,
         seed: int = 0,
+        injector: FaultInjector | None = None,
     ):
         if quota < 0:
             raise ValueError("quota must be non-negative")
@@ -119,6 +126,7 @@ class SimulatedGeocoder:
         self.requests_made = 0
         self.error_rate = error_rate
         self._rng = np.random.default_rng(seed)
+        self._injector = injector
 
     @property
     def remaining_quota(self) -> int:
@@ -130,7 +138,20 @@ class SimulatedGeocoder:
 
         Counts against the quota whether or not resolution succeeds, like
         the real API.  Raises :class:`QuotaExceededError` once spent.
+
+        Injected faults fire *before* any quota or RNG state is touched,
+        so a transiently-failed request consumes neither quota nor the
+        error-process RNG — a successful retry returns exactly what the
+        fault-free call would have (the bit-identical-recovery invariant).
         """
+        if self._injector is not None:
+            kind = self._injector.arrive(GEOCODER_REQUEST)
+            if kind is FaultKind.TRANSIENT:
+                raise TransientServiceError(
+                    "injected transient geocoding failure"
+                )
+            if kind is FaultKind.QUOTA:
+                self.requests_made = self.quota
         if self.requests_made >= self.quota:
             raise QuotaExceededError(
                 f"geocoding quota of {self.quota} requests exhausted"

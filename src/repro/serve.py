@@ -13,6 +13,12 @@ Routing is a pure function (:meth:`DashboardServer.route`), so the whole
 surface is unit-testable without sockets; the socket layer is a thin
 ``http.server`` wrapper.  Dashboards are rendered lazily and cached —
 the analysis itself is not re-run per request.
+
+The route function never lets an exception escape: every failure mode —
+unknown stakeholder, malformed path, a request arriving before the
+analysis has run, an internal rendering error — maps to a well-formed
+HTML error page with the right status code.  A public endpoint must not
+serve tracebacks.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ from .query.stakeholders import Stakeholder
 
 __all__ = ["DashboardServer"]
 
+_HTML = "text/html; charset=utf-8"
+
 _INDEX_TEMPLATE = """<!DOCTYPE html><html><head><meta charset='utf-8'>
 <title>INDICE</title><style>
 body {{ font-family: sans-serif; margin: 40px; color: #1c2733; }}
@@ -37,32 +45,85 @@ a {{ color: #225588; }} li {{ margin: 6px 0; }}
 <p><a href="/report">Plain-language analysis report</a></p>
 </body></html>"""
 
+_ERROR_TEMPLATE = """<!DOCTYPE html><html><head><meta charset='utf-8'>
+<title>INDICE — {status}</title><style>
+body {{ font-family: sans-serif; margin: 40px; color: #1c2733; }}
+h1 {{ color: #883333; }} a {{ color: #225588; }}
+</style></head><body>
+<h1>{status} — {title}</h1>
+<p>{message}</p>
+<p><a href="/">Back to the index</a></p>
+</body></html>"""
+
+
+def _error_page(status: int, title: str, message: str) -> tuple[int, str, str]:
+    """A well-formed error response (status, content type, HTML body)."""
+    return status, _HTML, _ERROR_TEMPLATE.format(
+        status=status, title=escape(title), message=escape(message)
+    )
+
 
 class DashboardServer:
-    """Serves one analyzed :class:`~repro.core.engine.Indice` session."""
+    """Serves one :class:`~repro.core.engine.Indice` session.
+
+    The engine does not have to be analyzed yet: requests arriving before
+    ``analyze()`` has completed get a 503 page (with ``Retry-After``
+    semantics in spirit), so a warming-up deployment degrades to "not
+    ready" instead of crashing at construction time.
+    """
 
     def __init__(self, engine: Indice):
         self._engine = engine
-        self._analytics = engine._require_analyzed()  # fail fast if not run
         self._cache: dict[str, str] = {}
 
     # -- pure routing -------------------------------------------------------
 
     def route(self, path: str) -> tuple[int, str, str]:
-        """Resolve *path* to ``(status, content_type, body)``."""
+        """Resolve *path* to ``(status, content_type, body)``.
+
+        Total: every input — including hostile or malformed paths and an
+        engine mid-analysis — produces a well-formed page, never an
+        uncaught exception.
+        """
+        try:
+            return self._route(path)
+        except Exception as exc:  # last line of defence: no tracebacks out
+            return _error_page(
+                500, "internal error",
+                f"the server failed to render this page ({type(exc).__name__}); "
+                "the analysis session itself is unaffected",
+            )
+
+    def _route(self, path: str) -> tuple[int, str, str]:
+        if not path.startswith("/") or "\\" in path or ".." in path or any(
+            ord(c) < 0x20 or c in "<>" for c in path
+        ):
+            return _error_page(
+                400, "malformed path",
+                "the request path could not be understood",
+            )
         path = path.rstrip("/") or "/"
+        if self._engine._analyzed is None:
+            return _error_page(
+                503, "analysis not ready",
+                "the analysis session has not finished yet; "
+                "try again in a moment",
+            )
         if path == "/":
-            return 200, "text/html; charset=utf-8", self._index()
+            return 200, _HTML, self._index()
         if path == "/report":
-            return 200, "text/html; charset=utf-8", self._report()
+            return 200, _HTML, self._report()
         if path.startswith("/dashboard/"):
             name = path.removeprefix("/dashboard/")
             try:
                 stakeholder = Stakeholder(name)
             except ValueError:
-                return 404, "text/plain; charset=utf-8", f"unknown stakeholder {name!r}"
-            return 200, "text/html; charset=utf-8", self._dashboard(stakeholder)
-        return 404, "text/plain; charset=utf-8", f"no route for {path!r}"
+                return _error_page(
+                    404, "unknown stakeholder",
+                    f"no dashboard for {name!r}; pick one from the index",
+                )
+            return 200, _HTML, self._dashboard(stakeholder)
+        return _error_page(404, "not found", f"no route for {path!r}")
 
     # -- content (cached) -----------------------------------------------------
 
@@ -74,7 +135,7 @@ class DashboardServer:
         )
         return _INDEX_TEMPLATE.format(
             city=escape(self._engine.config.city),
-            n_rows=self._analytics.table.n_rows,
+            n_rows=self._engine._require_analyzed().table.n_rows,
             links=links,
         )
 

@@ -29,6 +29,24 @@ def _tag_worker(x):
     return ("tagged", x)
 
 
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError(f"bad item {x}")
+    return x
+
+
+_OFFSET = 0
+
+
+def _set_offset(value):
+    global _OFFSET
+    _OFFSET = value
+
+
+def _add_offset(x):
+    return x + _OFFSET
+
+
 @pytest.fixture(scope="module")
 def small_collection():
     collection = generate_epc_collection(
@@ -80,6 +98,56 @@ class TestParallelMap:
         ex = ParallelMap(n_jobs=2, min_parallel_items=1)
         out = ex.map(_tag_worker, ["a", "b", "c"])
         assert out == [("tagged", "a"), ("tagged", "b"), ("tagged", "c")]
+
+
+class TestParallelMapFailureModes:
+    """A crash of the *infrastructure* is recoverable (serial fallback);
+    a bug in the *mapped function* is not — it propagates unchanged."""
+
+    def test_mapped_function_exception_propagates_parallel(self):
+        ex = ParallelMap(n_jobs=2, min_parallel_items=1)
+        with pytest.raises(ValueError, match="bad item 3"):
+            ex.map(_raise_on_three, range(10))
+        assert ex.fallbacks == 0  # a bug must never be retried serially
+
+    def test_mapped_function_exception_propagates_serial(self):
+        ex = ParallelMap(n_jobs=1)
+        with pytest.raises(ValueError, match="bad item 3"):
+            ex.map(_raise_on_three, range(10))
+
+    def test_n_jobs_one_equivalent_with_initializer(self):
+        serial = ParallelMap(n_jobs=1)
+        parallel = ParallelMap(n_jobs=2, min_parallel_items=1)
+        args = (_set_offset, (7,))
+        a = serial.map(_add_offset, range(30), *args)
+        b = parallel.map(_add_offset, range(30), *args)
+        assert a == b == [x + 7 for x in range(30)]
+
+    def test_fallback_reruns_initializer(self):
+        from repro.faults import FaultInjector
+
+        ex = ParallelMap(
+            n_jobs=2, min_parallel_items=1,
+            injector=FaultInjector("parallel.worker:crash*1"),
+        )
+        out = ex.map(
+            _add_offset, range(20), initializer=_set_offset, initargs=(5,)
+        )
+        assert out == [x + 5 for x in range(20)]
+        assert ex.fallbacks == 1
+
+    def test_empty_input_parallel_with_initializer(self):
+        ex = ParallelMap(n_jobs=2, min_parallel_items=0)
+        assert ex.map(_add_offset, [], initializer=_set_offset, initargs=(3,)) == []
+
+    def test_empty_input_never_spawns_pool(self):
+        # an empty map must not pay process start-up nor touch fault sites
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector("parallel.worker:crash")
+        ex = ParallelMap(n_jobs=4, min_parallel_items=0, injector=injector)
+        assert ex.map(_square, []) == []
+        assert injector.events == []
 
 
 class TestFingerprints:

@@ -56,10 +56,66 @@ class TestRouting:
         second = server.route("/dashboard/energy_scientist")[2]
         assert first is second  # same cached object, not re-rendered
 
-    def test_requires_analyzed_engine(self):
+    def test_request_before_analysis_is_503_page(self):
+        # a warming-up deployment answers "not ready", it does not crash
         collection = generate_epc_collection(SyntheticConfig(n_certificates=100, seed=1))
-        with pytest.raises(RuntimeError):
-            DashboardServer(Indice(collection))
+        server = DashboardServer(Indice(collection))
+        for path in ("/", "/report", "/dashboard/citizen"):
+            status, content_type, body = server.route(path)
+            assert status == 503
+            assert "text/html" in content_type
+            assert body.startswith("<!DOCTYPE html>")
+            assert "not ready" in body.lower()
+            assert "Traceback" not in body
+
+
+class TestErrorPages:
+    """Every failure mode returns a well-formed page, never a traceback."""
+
+    def test_unknown_stakeholder_is_html_error_page(self, server):
+        status, content_type, body = server.route("/dashboard/alien")
+        assert status == 404
+        assert "text/html" in content_type
+        assert body.startswith("<!DOCTYPE html>")
+        assert "alien" in body
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "/../etc/passwd",
+            "/dashboard/../secret",
+            "relative/path",
+            "/dash\\board",
+            "/dashboard/<script>",
+            "/report\x00",
+        ],
+    )
+    def test_malformed_path_is_400_page(self, server, path):
+        status, content_type, body = server.route(path)
+        assert status == 400
+        assert "text/html" in content_type
+        assert body.startswith("<!DOCTYPE html>")
+        assert "Traceback" not in body
+
+    def test_internal_error_is_500_page_without_traceback(self, server, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("rendering exploded")
+
+        monkeypatch.setattr(server._engine, "build_navigable_dashboard", boom)
+        server._cache.pop("dash:citizen", None)
+        status, content_type, body = server.route("/dashboard/citizen")
+        assert status == 500
+        assert "text/html" in content_type
+        assert body.startswith("<!DOCTYPE html>")
+        assert "Traceback" not in body and "rendering exploded" not in body
+        assert "RuntimeError" in body  # the error *class* is surfaced
+
+    def test_error_page_escapes_markup(self, server):
+        # hostile names render inert: route rejects raw <>, and the
+        # escaped-name page never reflects raw markup back
+        status, __, body = server.route("/dashboard/%3Cimg%20src=x%3E")
+        assert status == 404
+        assert "<img" not in body
 
 
 class TestEndToEndSocket:
