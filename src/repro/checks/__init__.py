@@ -1,0 +1,50 @@
+"""``repro.checks`` — an AST-based invariant linter for the pipeline.
+
+The reproduction's value rests on three contracts that code review alone
+cannot hold: every analytic stage is **deterministic** (seeded, replayable
+— the paper's INDICE pipeline end-to-end), every stage-cache fingerprint
+**covers exactly** the config fields that affect outcomes (PR 1), and
+every failure either recovers **bit-identically or logs a degradation**
+(PR 2).  This package walks the project's own AST and fails the build
+when any of them drifts:
+
+=========  ==========================  =========================================
+code       name                        contract
+=========  ==========================  =========================================
+DET001     unseeded-rng                determinism: no hidden global RNG state
+DET002     wall-clock                  determinism: no entropy/wall-clock inputs
+DET003     unordered-iteration         determinism: no hash-order in outputs
+CACHE001   cache-fingerprint-coverage  cache: config fields fingerprinted or
+                                       declared perf-only — no silent drift
+FAULT001   fault-site-parity           faults: registered sites <-> inject hooks
+EXC001     silent-broad-except         faults: recover loudly or re-raise
+MUT001     mutable-default             determinism: no cross-call shared state
+FLOAT001   float-equality              analytics: no exact float comparison
+=========  ==========================  =========================================
+
+Run it with ``python -m repro.checks src/repro`` (or ``repro check``);
+suppress an intentional site with ``# repro: noqa[RULE] — justification``.
+"""
+
+from .baseline import Baseline
+from .checker import Checker, CheckResult, check_tree, collect_python_files
+from .cli import main
+from .model import Finding, Rule, SourceFile, all_rules, register, rule_codes
+from .pragmas import PragmaIndex, parse_pragmas
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "CheckResult",
+    "Finding",
+    "PragmaIndex",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "check_tree",
+    "collect_python_files",
+    "main",
+    "parse_pragmas",
+    "register",
+    "rule_codes",
+]

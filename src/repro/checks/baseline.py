@@ -1,0 +1,89 @@
+"""Baseline files: grandfathering findings so new rules can land safely.
+
+A baseline is a JSON document listing finding *signatures* — ``(path,
+rule, message)`` triples, deliberately line-independent so unrelated
+edits above a grandfathered finding do not un-baseline it.  Checking with
+a baseline subtracts each signature once per recorded occurrence: fixing
+one of two identical findings keeps the other grandfathered, and a *new*
+occurrence of an old signature still fails the build.
+
+The project contract is an **empty baseline** on ``src/repro`` (every
+finding fixed or pragma'd with a justification); the mechanism exists so
+a future, stricter rule can ship enforcing only new code while the
+backlog is burned down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .model import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding signatures."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """The baseline that grandfathers exactly *findings*."""
+        return cls(counts=Counter(f.signature() for f in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        counts: Counter = Counter()
+        for entry in payload.get("findings", ()):
+            signature = (entry["path"], entry["rule"], entry["message"])
+            counts[signature] += int(entry.get("count", 1))
+        return cls(counts=counts)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the JSON form (stable ordering, round-trips via load)."""
+        entries = [
+            {"path": p, "rule": r, "message": m, "count": c}
+            for (p, r, m), c in sorted(self.counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        out = Path(path)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return out
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    def apply(self, findings: Sequence[Finding]) -> tuple[list[Finding], int]:
+        """``(fresh, n_baselined)``: subtract each signature once per entry.
+
+        Findings are consumed in order, so with N grandfathered
+        occurrences of a signature the first N current occurrences are
+        absorbed and any further one is fresh.
+        """
+        remaining = Counter(self.counts)
+        fresh: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            signature = finding.signature()
+            if remaining.get(signature, 0) > 0:
+                remaining[signature] -= 1
+                baselined += 1
+            else:
+                fresh.append(finding)
+        return fresh, baselined

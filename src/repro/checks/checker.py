@@ -1,0 +1,149 @@
+"""The analysis driver: collect files, run rules, apply suppressions.
+
+``Checker.run(paths)`` walks the given files/directories, parses every
+``.py`` file once, runs each registered rule's per-file and per-project
+hooks, then filters findings through ``# repro: noqa[RULE]`` pragmas and
+the optional baseline.  The result carries everything a front end needs:
+surviving findings (sorted by location), suppression counts and parse
+errors.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import Baseline
+from .model import Finding, Rule, SourceFile, all_rules
+from .pragmas import parse_pragmas
+
+__all__ = ["Checker", "CheckResult", "check_tree", "collect_python_files"]
+
+#: Directory names never descended into.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+def collect_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``.py`` file under *paths* (files kept as-is), sorted."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIPPED_DIRS.intersection(candidate.parts):
+                    out.add(candidate)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def _display_path(path: Path) -> str:
+    """A stable, readable path for findings (cwd-relative when possible)."""
+    try:
+        relative = path.resolve().relative_to(Path.cwd().resolve())
+        return relative.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclass
+class CheckResult:
+    """Everything one analysis produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    n_suppressed: int = 0
+    n_baselined: int = 0
+    #: ``(display_path, message)`` for files that failed to parse.
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the analysis is clean (no findings, no parse errors)."""
+        return not self.findings and not self.errors
+
+    def to_dict(self) -> dict[str, object]:
+        """The ``--format=json`` payload."""
+        return {
+            "version": 1,
+            "files": self.n_files,
+            "suppressed": self.n_suppressed,
+            "baselined": self.n_baselined,
+            "errors": [{"path": p, "message": m} for p, m in self.errors],
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+class Checker:
+    """Runs a rule set over a file set.
+
+    Parameters
+    ----------
+    rules:
+        The rules to run (default: every registered rule).
+    baseline:
+        Grandfathered findings subtracted from the result (default: none —
+        the project contract is an empty baseline on ``src/repro``).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        baseline: Baseline | None = None,
+    ):
+        self.rules: tuple[Rule, ...] = tuple(rules) if rules is not None else all_rules()
+        self.baseline = baseline
+
+    def load(self, path: Path) -> SourceFile | None:
+        """Parse one file; ``None`` (with no raise) on syntax errors."""
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return SourceFile(
+            path=path, display=_display_path(path), text=text, tree=tree
+        )
+
+    def run(self, paths: Sequence[str | Path]) -> CheckResult:
+        """Analyze every ``.py`` file under *paths*."""
+        result = CheckResult()
+        files: list[SourceFile] = []
+        for path in collect_python_files(paths):
+            try:
+                loaded = self.load(path)
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                result.errors.append((_display_path(path), str(exc)))
+                continue
+            if loaded is not None:
+                files.append(loaded)
+        result.n_files = len(files)
+
+        raw: list[Finding] = []
+        for file in files:
+            for rule in self.rules:
+                raw.extend(rule.check_file(file))
+        for rule in self.rules:
+            raw.extend(rule.check_project(files))
+
+        pragma_index = {
+            file.display: parse_pragmas(file.text, file.tree) for file in files
+        }
+        kept: list[Finding] = []
+        for finding in sorted(raw):
+            pragmas = pragma_index.get(finding.path)
+            if pragmas is not None and pragmas.suppresses(finding):
+                result.n_suppressed += 1
+            else:
+                kept.append(finding)
+
+        if self.baseline is not None:
+            kept, result.n_baselined = self.baseline.apply(kept)
+        result.findings = kept
+        return result
+
+
+def check_tree(
+    root: str | Path, baseline: Baseline | None = None
+) -> CheckResult:
+    """Convenience one-shot: run every rule over *root*."""
+    return Checker(baseline=baseline).run([root])

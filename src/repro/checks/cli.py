@@ -1,0 +1,126 @@
+"""Command line of the invariant linter: ``python -m repro.checks``.
+
+Usage::
+
+    python -m repro.checks src/repro                 # text findings, exit 1 if any
+    python -m repro.checks src/ --format=json        # machine-readable output
+    python -m repro.checks src/repro --baseline b.json
+    python -m repro.checks src/repro --write-baseline b.json
+    python -m repro.checks --list-rules
+
+Exit codes: 0 clean, 1 findings (or unparseable files), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence, TextIO
+
+from .baseline import Baseline
+from .checker import Checker, CheckResult
+from .model import all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.checks`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description=(
+            "AST-based invariant linter proving the pipeline's determinism, "
+            "cache-fingerprint and fault-site contracts"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings as clickable file:line lines (text) or one JSON document",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="subtract the grandfathered findings recorded in this JSON file",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH", default=None,
+        help="write the current findings as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table (code, name, rationale) and exit",
+    )
+    return parser
+
+
+def _print_rules(out: TextIO) -> None:
+    for rule in all_rules():
+        out.write(f"{rule.code}  {rule.name}\n    {rule.rationale}\n")
+
+
+def _select_rules(spec: str) -> list:
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    rules = [rule for rule in all_rules() if rule.code in wanted]
+    known = {rule.code for rule in all_rules()}
+    unknown = sorted(wanted - known)
+    if unknown:
+        raise SystemExit(
+            f"unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return rules
+
+
+def _render_text(result: CheckResult, out: TextIO) -> None:
+    for path, message in result.errors:
+        out.write(f"{path}:0:0: PARSE {message}\n")
+    for finding in result.findings:
+        out.write(finding.render() + "\n")
+    summary = (
+        f"{result.n_files} files: {len(result.findings)} finding(s), "
+        f"{result.n_suppressed} pragma-suppressed, "
+        f"{result.n_baselined} baselined"
+    )
+    if result.errors:
+        summary += f", {len(result.errors)} unparseable"
+    out.write(summary + "\n")
+
+
+def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        _print_rules(out)
+        return 0
+
+    rules = _select_rules(args.select) if args.select else None
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    checker = Checker(rules=rules, baseline=baseline)
+    result = checker.run(args.paths)
+
+    if args.write_baseline:
+        path = Baseline.from_findings(result.findings).save(args.write_baseline)
+        out.write(
+            f"wrote baseline with {len(result.findings)} finding(s) to {path}\n"
+        )
+        return 0
+
+    if args.format == "json":
+        out.write(json.dumps(result.to_dict(), indent=2) + "\n")
+    else:
+        _render_text(result, out)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

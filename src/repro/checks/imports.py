@@ -1,0 +1,61 @@
+"""Resolution of names and attribute chains to dotted module paths.
+
+The determinism rules must know that ``np.random.rand`` is
+``numpy.random.rand`` and that ``from time import time; time()`` calls
+``time.time``.  :class:`ImportTable` records a file's import bindings and
+resolves call targets through them.  Resolution is deliberately
+conservative: a name that was never imported resolves to ``None`` (it is
+a local object whose behaviour the linter cannot know), so method calls
+on e.g. a seeded ``Generator`` instance are never misattributed to the
+module-level RNG.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportTable"]
+
+
+class ImportTable:
+    """The import bindings of one module, with dotted-path resolution."""
+
+    def __init__(self, tree: ast.Module):
+        #: local name -> the dotted path it stands for
+        self.bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        # ``import numpy.random as npr`` binds the full path
+                        self.bindings[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the *root* name
+                        root = alias.name.split(".", 1)[0]
+                        self.bindings[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative import: never stdlib/numpy
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """The dotted path of a Name / Attribute chain, or ``None``.
+
+        ``np.random.rand`` resolves through ``import numpy as np`` to
+        ``numpy.random.rand``; a chain rooted at an un-imported name
+        (a local variable, a parameter) resolves to ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.bindings.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(parts)])

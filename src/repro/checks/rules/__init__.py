@@ -1,0 +1,15 @@
+"""The rule set — importing this package registers every rule.
+
+Modules group rules by the contract they defend:
+
+* :mod:`.determinism` — DET001 (unseeded RNG), DET002 (wall clock /
+  entropy), DET003 (unordered iteration escaping into results);
+* :mod:`.contracts` — CACHE001 (stage-cache fingerprint coverage),
+  FAULT001 (fault-site registry/hook parity);
+* :mod:`.hygiene` — EXC001 (silent broad except), MUT001 (mutable
+  defaults), FLOAT001 (float equality).
+"""
+
+from . import contracts, determinism, hygiene
+
+__all__ = ["contracts", "determinism", "hygiene"]

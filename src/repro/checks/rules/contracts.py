@@ -1,0 +1,327 @@
+"""Project-contract rules: cache fingerprints and fault-site parity.
+
+These rules are cross-file (they run once per analysis over the whole
+file set) and *semantic*: they reconstruct the pipeline's own registries
+from the code under analysis and diff them.
+
+* **CACHE001** — every ``IndiceConfig`` field must be either fingerprinted
+  into a stage-cache key (``_PREPROCESS_FIELDS`` / ``_ANALYZE_FIELDS`` in
+  the engine) or explicitly declared outcome-neutral
+  (``PERF_ONLY_FIELDS`` in the cache).  A field in neither set is silent
+  fingerprint drift: changing it would reuse stale cache entries.  When
+  the scanned files are the real installed modules, the rule additionally
+  imports them and diffs the static view against the runtime dataclass,
+  so dynamically injected fields cannot hide from the linter.
+* **FAULT001** — every site registered in ``KNOWN_SITES`` must have an
+  ``injector.arrive(SITE)`` / ``injector.fire(SITE)`` call site, and every
+  call site must use a registered site.  A registered-but-unhooked site is
+  a chaos plan that silently never fires; an unregistered call site is an
+  injection point no plan can reach.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from ..model import Finding, Rule, SourceFile, register
+
+__all__ = ["CacheFingerprintCoverage", "FaultSiteParity"]
+
+#: The engine tuples whose union must cover the outcome-affecting fields.
+FINGERPRINT_TUPLES = ("_PREPROCESS_FIELDS", "_ANALYZE_FIELDS")
+#: The cache tuple naming the outcome-neutral fields.
+EXCLUSION_TUPLE = "PERF_ONLY_FIELDS"
+
+
+def _string_tuple_assignments(
+    file: SourceFile, names: tuple[str, ...]
+) -> dict[str, tuple[int, tuple[str, ...]]]:
+    """Top-level ``NAME = ("a", "b", ...)`` assignments among *names*.
+
+    Returns ``{name: (lineno, values)}`` for every match whose value is a
+    tuple of string constants.
+    """
+    out: dict[str, tuple[int, tuple[str, ...]]] = {}
+    for node in file.tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or target.id not in names:
+            continue
+        if not isinstance(node.value, ast.Tuple):
+            continue
+        values = []
+        for elt in node.value.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                values.append(elt.value)
+        out[target.id] = (node.lineno, tuple(values))
+    return out
+
+
+def _is_dataclass_def(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[tuple[str, int]]:
+    """``(name, lineno)`` of every field declared in the class body."""
+    fields = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = ast.unparse(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+@register
+class CacheFingerprintCoverage(Rule):
+    """CACHE001 — IndiceConfig fields vs. StageCache fingerprint tuples."""
+
+    code = "CACHE001"
+    name = "cache-fingerprint-coverage"
+    rationale = (
+        "an IndiceConfig field outside both the stage-cache fingerprints "
+        "and PERF_ONLY_FIELDS means a config change can silently reuse "
+        "stale cached outcomes"
+    )
+
+    #: Name of the config dataclass whose fields must be covered.
+    config_class = "IndiceConfig"
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        """Diff the dataclass fields against the fingerprint tuples."""
+        config_file: SourceFile | None = None
+        class_node: ast.ClassDef | None = None
+        for file in files:
+            for node in file.tree.body:
+                if (
+                    isinstance(node, ast.ClassDef)
+                    and node.name == self.config_class
+                    and _is_dataclass_def(node)
+                ):
+                    config_file, class_node = file, node
+                    break
+            if class_node is not None:
+                break
+        if config_file is None or class_node is None:
+            return  # nothing to check in this file set
+
+        fingerprinted: dict[str, tuple[SourceFile, int, tuple[str, ...]]] = {}
+        wanted = FINGERPRINT_TUPLES + (EXCLUSION_TUPLE,)
+        for file in files:
+            for name, (lineno, values) in _string_tuple_assignments(
+                file, wanted
+            ).items():
+                fingerprinted[name] = (file, lineno, values)
+        if not fingerprinted:
+            return  # config class scanned without the engine/cache modules
+
+        fields = _dataclass_fields(class_node)
+        field_names = {name for name, __ in fields}
+        covered: set[str] = set()
+        for __, (___, ____, values) in sorted(fingerprinted.items()):
+            covered |= set(values)
+
+        for name, lineno in fields:
+            if name not in covered:
+                yield Finding(
+                    config_file.display, lineno, 0, self.code,
+                    f"{self.config_class}.{name} is neither fingerprinted "
+                    f"({' / '.join(FINGERPRINT_TUPLES)}) nor declared "
+                    f"outcome-neutral ({EXCLUSION_TUPLE}); a change to it "
+                    "would silently reuse stale stage-cache entries",
+                )
+        for tuple_name in sorted(fingerprinted):
+            file, lineno, values = fingerprinted[tuple_name]
+            for value in values:
+                if value not in field_names:
+                    yield Finding(
+                        file.display, lineno, 0, self.code,
+                        f"'{value}' in {tuple_name} is not a field of "
+                        f"{self.config_class} (stale or misspelled entry)",
+                    )
+
+        yield from self._runtime_cross_check(config_file, field_names, fingerprinted)
+
+    def _runtime_cross_check(
+        self,
+        config_file: SourceFile,
+        static_fields: set[str],
+        fingerprinted: dict[str, tuple[SourceFile, int, tuple[str, ...]]],
+    ) -> Iterator[Finding]:
+        """Import the real modules and diff runtime vs. static views.
+
+        Only runs when the scanned config file *is* the installed
+        ``repro.core.config`` — fixture corpora never trigger an import.
+        """
+        import dataclasses
+        from pathlib import Path
+
+        try:
+            from repro.core.config import IndiceConfig
+            from repro.core.engine import _ANALYZE_FIELDS, _PREPROCESS_FIELDS
+            from repro.perf.cache import PERF_ONLY_FIELDS
+        except ImportError:
+            return
+        try:
+            import repro.core.config as _config_module
+
+            if Path(_config_module.__file__).resolve() != config_file.path.resolve():
+                return
+        except (OSError, TypeError):
+            return
+
+        runtime_fields = {f.name for f in dataclasses.fields(IndiceConfig)}
+        for name in sorted(runtime_fields - static_fields):
+            yield Finding(
+                config_file.display, 1, 0, self.code,
+                f"runtime field {self.config_class}.{name} is invisible to "
+                "static analysis (added dynamically?); declare it in the "
+                "class body so fingerprint coverage can be proven",
+            )
+        runtime_tuples = {
+            "_PREPROCESS_FIELDS": _PREPROCESS_FIELDS,
+            "_ANALYZE_FIELDS": _ANALYZE_FIELDS,
+            "PERF_ONLY_FIELDS": PERF_ONLY_FIELDS,
+        }
+        for tuple_name in sorted(runtime_tuples):
+            if tuple_name not in fingerprinted:
+                continue
+            file, lineno, static_values = fingerprinted[tuple_name]
+            if tuple(runtime_tuples[tuple_name]) != static_values:
+                yield Finding(
+                    file.display, lineno, 0, self.code,
+                    f"{tuple_name} at runtime differs from its source "
+                    "literal (computed or patched?); keep it a literal "
+                    "tuple of field names so coverage can be proven",
+                )
+
+
+@register
+class FaultSiteParity(Rule):
+    """FAULT001 — KNOWN_SITES registry vs. arrive()/fire() hook sites."""
+
+    code = "FAULT001"
+    name = "fault-site-parity"
+    rationale = (
+        "a KNOWN_SITES entry with no arrive()/fire() hook is a chaos rule "
+        "that silently never fires; an unregistered hook is unreachable "
+        "by any FaultPlan"
+    )
+
+    #: Methods whose first argument names an injection site.
+    hook_methods = ("arrive", "fire")
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        """Diff the site registry against the hook call sites."""
+        registry_file: SourceFile | None = None
+        registry_line = 0
+        registered: tuple[str, ...] = ()
+        const_names: dict[str, str] = {}
+
+        for file in files:
+            assigns = _string_tuple_assignments(file, ("KNOWN_SITES",))
+            constants = self._string_constants(file)
+            if "KNOWN_SITES" in assigns:
+                lineno, literal_values = assigns["KNOWN_SITES"]
+                registry_file, registry_line = file, lineno
+                registered = literal_values or self._named_tuple_values(
+                    file, constants
+                )
+                const_names.update(constants)
+        if registry_file is None:
+            return  # no site registry in this file set
+
+        called: dict[str, list[tuple[SourceFile, int, int]]] = {}
+        for file in files:
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in self.hook_methods:
+                    continue
+                site = self._site_of(node.args[0], const_names)
+                if site is None:
+                    continue
+                called.setdefault(site, []).append(
+                    (file, node.lineno, node.col_offset)
+                )
+
+        for site in registered:
+            if site not in called:
+                yield Finding(
+                    registry_file.display, registry_line, 0, self.code,
+                    f"registered fault site '{site}' has no arrive()/fire() "
+                    "call site; a plan naming it would silently never fire",
+                )
+        for site in sorted(called):
+            if site in registered:
+                continue
+            for file, lineno, col in called[site]:
+                yield Finding(
+                    file.display, lineno, col, self.code,
+                    f"injection call site uses unregistered fault site "
+                    f"'{site}'; add it to KNOWN_SITES so plans can target "
+                    "(and validators can accept) it",
+                )
+
+    @staticmethod
+    def _string_constants(file: SourceFile) -> dict[str, str]:
+        """Top-level ``NAME = "literal"`` assignments of one module."""
+        out: dict[str, str] = {}
+        for node in file.tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(node.value, ast.Constant) and isinstance(
+                node.value.value, str
+            ):
+                out[target.id] = node.value.value
+        return out
+
+    @staticmethod
+    def _named_tuple_values(
+        file: SourceFile, constants: dict[str, str]
+    ) -> tuple[str, ...]:
+        """KNOWN_SITES values when the tuple holds constant *names*."""
+        for node in file.tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name) or target.id != "KNOWN_SITES":
+                continue
+            if not isinstance(node.value, ast.Tuple):
+                continue
+            values = []
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Name) and elt.id in constants:
+                    values.append(constants[elt.id])
+                elif isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    values.append(elt.value)
+            return tuple(values)
+        return ()
+
+    @staticmethod
+    def _site_of(arg: ast.expr, const_names: dict[str, str]) -> str | None:
+        """Resolve a hook call's site argument to its site string."""
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        if isinstance(arg, ast.Name):
+            return const_names.get(arg.id)
+        return None

@@ -1,0 +1,171 @@
+"""Hygiene rules: failure handling and numeric comparisons.
+
+* **EXC001** — a bare / ``except Exception`` / ``except BaseException``
+  handler that neither re-raises nor records a provenance degradation
+  swallows failures silently, breaking PR 2's contract that every fault
+  either recovers bit-identically or leaves a logged degradation;
+* **MUT001** — mutable default arguments alias state across calls, the
+  classic source of run-order-dependent results;
+* **FLOAT001** — ``==`` / ``!=`` between float expressions is
+  representation-dependent; analytics code must compare with tolerances
+  (``math.isclose`` / ``numpy.isclose``) or on exact integer surrogates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..model import Finding, Rule, SourceFile, register
+
+__all__ = ["BroadExcept", "MutableDefault", "FloatEquality"]
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or catching Exception/BaseException."""
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(elt, ast.Name) and elt.id in _BROAD_NAMES
+            for elt in node.elts
+        )
+    return False
+
+
+def _handler_accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or records a provenance degradation."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "record"
+        ):
+            return True
+    return False
+
+
+@register
+class BroadExcept(Rule):
+    """EXC001 — broad except handlers that swallow failures silently."""
+
+    code = "EXC001"
+    name = "silent-broad-except"
+    rationale = (
+        "every failure must either re-raise or leave a ProvenanceLog "
+        "degradation; a silent broad except hides faults from the "
+        "bit-identical-or-logged recovery contract"
+    )
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        """Flag broad handlers with no re-raise and no ``.record(...)``."""
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and not _handler_accounts_for_failure(node):
+                caught = "bare except" if node.type is None else "broad except"
+                yield Finding(
+                    file.display, node.lineno, node.col_offset, self.code,
+                    f"{caught} neither re-raises nor records a provenance "
+                    "degradation; narrow the exception type, re-raise, or "
+                    "call ProvenanceLog.record(..., 'degradation', ...)",
+                )
+
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "OrderedDict", "deque"}
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefault(Rule):
+    """MUT001 — mutable default arguments (cross-call shared state)."""
+
+    code = "MUT001"
+    name = "mutable-default"
+    rationale = (
+        "a mutable default argument is shared across calls, so results "
+        "depend on call history instead of (data, config, seed)"
+    )
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        """Flag literal/constructor mutables in default positions."""
+        for node in ast.walk(file.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield Finding(
+                        file.display, default.lineno, default.col_offset,
+                        self.code,
+                        f"mutable default argument in {node.name}(); use "
+                        "None and create the object inside the function "
+                        "(or a dataclass field(default_factory=...))",
+                    )
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Whether *node* syntactically looks like a float-valued expression."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    """FLOAT001 — exact ``==``/``!=`` between float expressions."""
+
+    code = "FLOAT001"
+    name = "float-equality"
+    rationale = (
+        "exact ==/!= between floats is representation-dependent; analytics "
+        "must compare with a tolerance or on exact integer surrogates"
+    )
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        """Flag equality comparisons with a float-looking operand."""
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_floatish(left) or _is_floatish(right):
+                    yield Finding(
+                        file.display, node.lineno, node.col_offset, self.code,
+                        "==/!= between float expressions; use math.isclose/"
+                        "numpy.isclose, an ordered comparison, or compare "
+                        "exact integer surrogates",
+                    )

@@ -76,6 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8350)
     _add_perf_arguments(serve)
+
+    check = sub.add_parser(
+        "check",
+        help="run the repro.checks invariant linter (determinism/cache/fault contracts)",
+    )
+    check.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.add_argument("--select", metavar="RULES", default=None)
+    check.add_argument("--baseline", metavar="PATH", default=None)
+    check.add_argument("--write-baseline", metavar="PATH", default=None)
+    check.add_argument("--list-rules", action="store_true")
     return parser
 
 
@@ -188,11 +202,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .checks.cli import main as checks_main
+
+    argv = [str(p) for p in args.paths]
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.baseline:
+        argv += ["--baseline", str(args.baseline)]
+    if args.write_baseline:
+        argv += ["--write-baseline", str(args.write_baseline)]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return checks_main(argv)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "suggest": _cmd_suggest,
     "run": _cmd_run,
     "serve": _cmd_serve,
+    "check": _cmd_check,
 }
 
 

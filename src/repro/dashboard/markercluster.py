@@ -12,6 +12,14 @@ into a uniform grid whose cell size depends on the zoom level, then each
 occupied cell's points join the marker seeded at their mean position.
 Re-running with a finer cell size is exactly the paper's "drill down in
 the energy map".
+
+Like Leaflet.markercluster's zoom pyramid, zoom levels are built
+*hierarchically*: each coarser level groups the markers of the next finer
+level rather than re-gridding the raw points.  Independent grids don't
+nest (their cell boundaries fall in different places), so a coarser grid
+could split a pair of points a finer grid had joined; grouping finer
+markers makes drill-down monotone by construction — zooming out can only
+merge markers, never split them.
 """
 
 from __future__ import annotations
@@ -88,10 +96,32 @@ def cluster_markers(
             for i in np.flatnonzero(valid)
         ]
 
-    index = GridIndex(latitudes, longitudes, cell_km=size)
+    if cell_km is not None:
+        levels = [cell_km]
+    else:
+        # finest non-unit level first, up to the requested zoom — each
+        # level groups the previous one's markers (see module docstring)
+        levels = [
+            CELL_KM_BY_GRANULARITY[g]
+            for g in (Granularity.NEIGHBOURHOOD, Granularity.DISTRICT,
+                      Granularity.CITY)
+            if g >= granularity
+        ]
+
+    groups: list[np.ndarray] = [
+        np.asarray([i], dtype=np.intp) for i in np.flatnonzero(valid)
+    ]
+    for level_km in levels:
+        group_lats = np.asarray([latitudes[g].mean() for g in groups])
+        group_lons = np.asarray([longitudes[g].mean() for g in groups])
+        index = GridIndex(group_lats, group_lons, cell_km=level_km)
+        groups = [
+            np.sort(np.concatenate([groups[i] for i in members]))
+            for cell, members in sorted(index.cells().items())
+        ]
+
     markers: list[ClusterMarker] = []
-    for cell, members in sorted(index.cells().items()):
-        member_idx = np.asarray(members, dtype=np.intp)
+    for member_idx in groups:
         member_values = values[member_idx]
         present = member_values[~np.isnan(member_values)]
         markers.append(

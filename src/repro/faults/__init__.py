@@ -29,6 +29,7 @@ from .plan import (
     DATASET_READ,
     DATASET_WRITE,
     GEOCODER_REQUEST,
+    KNOWN_SITES,
     PARALLEL_WORKER,
     FaultInjector,
     FaultKind,
@@ -54,6 +55,7 @@ __all__ = [
     "DATASET_READ",
     "DATASET_WRITE",
     "GEOCODER_REQUEST",
+    "KNOWN_SITES",
     "PARALLEL_WORKER",
     "CircuitBreaker",
     "Deadline",

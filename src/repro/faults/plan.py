@@ -131,7 +131,13 @@ class FaultSpec:
     times: int | None = None
     after: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
+        if self.site not in KNOWN_SITES:
+            valid = ", ".join(KNOWN_SITES)
+            raise ValueError(
+                f"unknown fault site {self.site!r} — a plan naming it would "
+                f"silently never fire (valid sites: {valid})"
+            )
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
         if self.times is not None and self.times < 0:
@@ -142,7 +148,8 @@ class FaultSpec:
     def render(self) -> str:
         """The spec-string form (inverse of :meth:`FaultSpec.parse`)."""
         out = f"{self.site}:{self.kind.value}"
-        if self.rate != 1.0:
+        # rate is validated into [0, 1], so < 1.0 is exactly "non-default"
+        if self.rate < 1.0:
             out += f"@{self.rate:g}"
         if self.times is not None:
             out += f"*{self.times}"

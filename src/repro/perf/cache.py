@@ -195,7 +195,10 @@ class StageCache:
                 data = FaultInjector.mangle(data, kind)
         try:
             return True, pickle.loads(data)
-        except Exception:  # corrupt / truncated entry: treat as a miss
+        # By contract a cache can never abort the stage it accelerates: any
+        # unpickling failure is a counted miss (read_errors) and
+        # Indice._cache_get records the provenance degradation.
+        except Exception:  # repro: noqa[EXC001] — corrupt/truncated entry is a counted miss
             self.read_errors += 1
             return False, None
 

@@ -87,7 +87,10 @@ class DashboardServer:
         """
         try:
             return self._route(path)
-        except Exception as exc:  # last line of defence: no tracebacks out
+        # The catch-all 500 handler is this module's whole contract: a public
+        # endpoint maps every failure to a well-formed error page and never
+        # leaks a traceback.
+        except Exception as exc:  # repro: noqa[EXC001] — catch-all 500, no tracebacks out
             return _error_page(
                 500, "internal error",
                 f"the server failed to render this page ({type(exc).__name__}); "

@@ -153,7 +153,7 @@ def best_match(query: str, candidates: list[str], phi: float = 0.0) -> tuple[int
             continue
         if not found or sim > best_sim:
             best_index, best_sim, found = i, sim, True
-            if best_sim == 1.0:
+            if best_sim >= 1.0:  # similarity is capped at 1.0: exact match
                 break
     if not found:
         return None
@@ -277,7 +277,7 @@ class GazetteerIndex:
                 or (sim == best_sim and i < best_index)
             ):
                 best_index, best_sim, found = i, sim, True
-            return found and best_sim == 1.0
+            return found and best_sim >= 1.0  # capped at 1.0: exact match
 
         # pass 1: buckets sharing the query's first token (likeliest to
         # hold a near-duplicate, so the threshold tightens early)

@@ -1,0 +1,18 @@
+"""CACHE001 negative: every field fingerprinted or declared perf-only."""
+
+from dataclasses import dataclass
+
+PERF_ONLY_FIELDS = ("n_jobs",)
+
+_PREPROCESS_FIELDS = ("city", "geocoder_quota")
+
+_ANALYZE_FIELDS = ("city", "seed", "k_range")
+
+
+@dataclass
+class IndiceConfig:
+    city: str = "Turin"
+    geocoder_quota: int = 2500
+    seed: int = 0
+    k_range: tuple = (2, 10)
+    n_jobs: int = 1

@@ -1,0 +1,12 @@
+"""DET001 positive: module-level / unseeded RNG (3 findings)."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    a = random.random()
+    b = np.random.rand(3)
+    rng = np.random.default_rng()
+    return a, b, rng

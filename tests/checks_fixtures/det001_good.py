@@ -1,0 +1,11 @@
+"""DET001 negative: explicitly seeded generators are fine."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    legacy = random.Random(seed)
+    return rng.random(), legacy.random()

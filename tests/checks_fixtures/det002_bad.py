@@ -1,0 +1,14 @@
+"""DET002 positive: wall-clock and entropy reads (4 findings)."""
+
+import os
+import time
+from datetime import datetime
+from uuid import uuid4
+
+
+def stamp():
+    started = time.time()
+    today = datetime.now()
+    run_id = uuid4()
+    token = os.urandom(8)
+    return started, today, run_id, token

@@ -1,0 +1,9 @@
+"""DET002 negative: monotonic timing counters are allowed."""
+
+import time
+
+
+def timed(work):
+    start = time.perf_counter()
+    result = work()
+    return result, time.perf_counter() - start

@@ -1,0 +1,9 @@
+"""DET003 positive: set order escaping into ordered data (3 findings)."""
+
+
+def leak(items):
+    unique = set(items)
+    ordered = list(unique)
+    for item in unique:
+        ordered.append(item)
+    return ",".join({str(i) for i in items}), ordered

@@ -1,0 +1,8 @@
+"""DET003 negative: sorted() materialization and membership are fine."""
+
+
+def no_leak(items, needle):
+    unique = set(items)
+    ordered = sorted(unique)
+    hit = needle in unique
+    return ordered, hit, len(unique)

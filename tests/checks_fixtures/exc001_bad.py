@@ -1,0 +1,15 @@
+"""EXC001 positive: silent broad handlers (2 findings)."""
+
+
+def swallow(work):
+    try:
+        return work()
+    except Exception:
+        return None
+
+
+def swallow_bare(work):
+    try:
+        return work()
+    except:  # noqa: E722 (deliberately bare for the fixture)
+        return None

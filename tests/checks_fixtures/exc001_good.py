@@ -1,0 +1,23 @@
+"""EXC001 negative: narrow, re-raising, or degradation-recording handlers."""
+
+
+def narrow(work):
+    try:
+        return work()
+    except ValueError:
+        return None
+
+
+def reraise(work):
+    try:
+        return work()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def recorded(work, log):
+    try:
+        return work()
+    except Exception:
+        log.record("stage", "degradation", kind="work_failed")
+        return None

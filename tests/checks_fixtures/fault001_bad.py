@@ -1,0 +1,11 @@
+"""FAULT001 positive: unhooked registered site + unregistered hook (2 findings)."""
+
+ALPHA = "alpha.site"
+BETA = "beta.site"
+
+KNOWN_SITES = (ALPHA, BETA)
+
+
+def hooked(injector):
+    injector.arrive(ALPHA)
+    injector.fire("gamma.site")

@@ -1,0 +1,11 @@
+"""FAULT001 negative: registry and hooks in perfect parity."""
+
+ALPHA = "alpha.site"
+BETA = "beta.site"
+
+KNOWN_SITES = (ALPHA, BETA)
+
+
+def hooked(injector):
+    injector.arrive(ALPHA)
+    injector.fire("beta.site")

@@ -1,0 +1,8 @@
+"""FLOAT001 positive: exact equality between float expressions (3 findings)."""
+
+
+def compare(x, y, total, n):
+    a = x == 0.5
+    b = total / n != y
+    c = float(x) == y
+    return a, b, c

@@ -1,0 +1,10 @@
+"""FLOAT001 negative: tolerances, ordered comparisons, integer equality."""
+
+import math
+
+
+def compare(x, y, count):
+    a = math.isclose(x, 0.5)
+    b = x >= 0.5
+    c = count == 3
+    return a, b, c

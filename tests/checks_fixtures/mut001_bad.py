@@ -1,0 +1,11 @@
+"""MUT001 positive: mutable default arguments (3 findings)."""
+
+
+def accumulate(value, into=[]):
+    into.append(value)
+    return into
+
+
+def index(key, table={}, *, seen=set()):
+    seen.add(key)
+    return table.setdefault(key, len(seen))

@@ -1,0 +1,7 @@
+"""MUT001 negative: None defaults with inside-the-function construction."""
+
+
+def accumulate(value, into=None):
+    into = [] if into is None else into
+    into.append(value)
+    return into

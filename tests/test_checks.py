@@ -1,0 +1,261 @@
+"""Tests for ``repro.checks`` — the AST-based invariant linter.
+
+Covers: the fixture corpus (one positive and one negative example per
+rule), the pragma parser, the baseline round-trip, text/JSON output, the
+CLI entry points, and the tier-1 self-analysis gate — the full rule set
+over ``src/repro`` must report **zero** findings, which is the
+machine-checked form of the determinism / cache / fault contracts.
+"""
+
+import io
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.checks import (
+    Baseline,
+    Checker,
+    Finding,
+    all_rules,
+    parse_pragmas,
+    rule_codes,
+)
+from repro.checks.cli import main as checks_main
+from repro.cli import main as repro_main
+
+pytestmark = pytest.mark.checks
+
+FIXTURES = Path(__file__).parent / "checks_fixtures"
+SRC = Path(repro.__file__).parent
+
+#: fixture stem -> (rule code, expected finding count in the _bad file)
+EXPECTED = {
+    "det001": ("DET001", 3),
+    "det002": ("DET002", 4),
+    "det003": ("DET003", 3),
+    "cache001": ("CACHE001", 2),
+    "fault001": ("FAULT001", 2),
+    "exc001": ("EXC001", 2),
+    "mut001": ("MUT001", 3),
+    "float001": ("FLOAT001", 3),
+}
+
+
+def check_file(path: Path):
+    """All findings of the full rule set over one fixture file."""
+    return Checker().run([path])
+
+
+class TestFixtureCorpus:
+    def test_every_rule_has_fixtures(self):
+        covered = {code for code, __ in EXPECTED.values()}
+        assert covered == set(rule_codes())
+
+    @pytest.mark.parametrize("stem", sorted(EXPECTED))
+    def test_positive_fixture_flagged(self, stem):
+        code, count = EXPECTED[stem]
+        result = check_file(FIXTURES / f"{stem}_bad.py")
+        assert [f.rule for f in result.findings] == [code] * count
+        assert not result.errors
+
+    @pytest.mark.parametrize("stem", sorted(EXPECTED))
+    def test_negative_fixture_clean(self, stem):
+        result = check_file(FIXTURES / f"{stem}_good.py")
+        assert result.findings == []
+        assert not result.errors
+
+    def test_findings_are_clickable(self):
+        result = check_file(FIXTURES / "mut001_bad.py")
+        for finding in result.findings:
+            assert re.match(r"^\S+\.py:\d+:\d+: MUT001 ", finding.render())
+
+
+class TestSelfAnalysis:
+    """The analyzer must prove the shipped pipeline clean — and itself."""
+
+    def test_src_repro_is_clean(self):
+        result = Checker().run([SRC])
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert result.findings == [], f"contract violations:\n{rendered}"
+        assert not result.errors
+        # the scan really covered the project, analyzer included
+        assert result.n_files > 60
+        # the two documented intentional sites (serve.py catch-all 500,
+        # cache.py corrupt-entry-as-miss) are pragma'd, not invisible
+        assert result.n_suppressed == 2
+
+    def test_checker_analyzes_itself(self):
+        result = Checker().run([SRC / "checks"])
+        assert result.findings == []
+        assert not result.errors
+        assert result.n_files >= 10
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_only_its_line(self, tmp_path):
+        path = tmp_path / "module.py"
+        path.write_text(
+            "def f(a=[]):  # repro: noqa[MUT001] — fixture justification\n"
+            "    return a\n"
+            "def g(b=[]):\n"
+            "    return b\n"
+        )
+        result = Checker().run([path])
+        assert len(result.findings) == 1
+        assert result.findings[0].line == 3
+        assert result.n_suppressed == 1
+
+    def test_file_pragma_in_header_suppresses_whole_file(self, tmp_path):
+        path = tmp_path / "module.py"
+        path.write_text(
+            "# repro: noqa[MUT001] — fixture-wide waiver\n"
+            '"""Docstring."""\n'
+            "def f(a=[]):\n"
+            "    return a\n"
+            "def g(b=[]):\n"
+            "    return b\n"
+        )
+        result = Checker().run([path])
+        assert result.findings == []
+        assert result.n_suppressed == 2
+
+    def test_pragma_after_first_statement_is_line_scoped(self, tmp_path):
+        path = tmp_path / "module.py"
+        path.write_text(
+            '"""Docstring."""\n'
+            "# repro: noqa[MUT001]\n"  # below the docstring: not file scope
+            "def f(a=[]):\n"
+            "    return a\n"
+        )
+        result = Checker().run([path])
+        assert len(result.findings) == 1
+
+    def test_multi_code_pragma(self):
+        index = parse_pragmas("x = 1  # repro: noqa[EXC001, FLOAT001]\n")
+        codes = index.line_codes[1]
+        assert codes == frozenset({"EXC001", "FLOAT001"})
+
+    def test_no_bare_noqa(self):
+        index = parse_pragmas("x = 1  # repro: noqa\n")
+        assert not index
+
+
+class TestBaseline:
+    def _finding(self, message="m"):
+        return Finding("pkg/mod.py", 10, 4, "EXC001", message)
+
+    def test_round_trip(self, tmp_path):
+        findings = [self._finding(), self._finding(), self._finding("other")]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 3
+        fresh, baselined = loaded.apply(findings)
+        assert fresh == [] and baselined == 3
+
+    def test_line_drift_stays_baselined(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([self._finding()]).save(path)
+        moved = Finding("pkg/mod.py", 99, 0, "EXC001", "m")
+        fresh, baselined = Baseline.load(path).apply([moved])
+        assert fresh == [] and baselined == 1
+
+    def test_new_occurrence_is_fresh(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([self._finding()]).save(path)
+        fresh, baselined = Baseline.load(path).apply(
+            [self._finding(), self._finding()]
+        )
+        assert len(fresh) == 1 and baselined == 1
+
+    def test_version_gate(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_cli_write_then_check(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        bad = str(FIXTURES / "mut001_bad.py")
+        out = io.StringIO()
+        assert checks_main(
+            [bad, "--write-baseline", str(baseline)], out=out
+        ) == 0
+        assert checks_main([bad, "--baseline", str(baseline)], out=out) == 0
+        assert checks_main([bad], out=out) == 1
+
+
+class TestOutputFormats:
+    def test_text_format(self):
+        out = io.StringIO()
+        code = checks_main([str(FIXTURES / "float001_bad.py")], out=out)
+        assert code == 1
+        lines = out.getvalue().splitlines()
+        assert sum("FLOAT001" in line for line in lines) == 3
+        assert lines[-1].endswith("0 baselined")
+
+    def test_json_schema(self):
+        out = io.StringIO()
+        code = checks_main(
+            [str(FIXTURES / "exc001_bad.py"), "--format", "json"], out=out
+        )
+        assert code == 1
+        payload = json.loads(out.getvalue())
+        assert set(payload) == {
+            "version", "files", "suppressed", "baselined", "errors", "findings",
+        }
+        assert payload["version"] == 1
+        assert payload["files"] == 1
+        assert len(payload["findings"]) == 2
+        for finding in payload["findings"]:
+            assert set(finding) == {"path", "line", "col", "rule", "message"}
+            assert finding["rule"] == "EXC001"
+
+    def test_json_clean_run(self):
+        out = io.StringIO()
+        code = checks_main(
+            [str(FIXTURES / "exc001_good.py"), "--format", "json"], out=out
+        )
+        assert code == 0
+        assert json.loads(out.getvalue())["findings"] == []
+
+    def test_parse_error_reported(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        out = io.StringIO()
+        assert checks_main([str(path)], out=out) == 1
+        assert "PARSE" in out.getvalue()
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert checks_main(["--list-rules"], out=out) == 0
+        text = out.getvalue()
+        for code in rule_codes():
+            assert code in text
+
+    def test_select_unknown_rule_is_an_error(self):
+        with pytest.raises(SystemExit):
+            checks_main([str(FIXTURES), "--select", "NOPE999"], out=io.StringIO())
+
+
+class TestReproCheckSubcommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert repro_main(["check", str(SRC)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        bad = str(FIXTURES / "det001_bad.py")
+        assert repro_main(["check", bad, "--select", "DET001"]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+
+class TestRuleMetadata:
+    def test_rules_have_rationales(self):
+        for rule in all_rules():
+            assert rule.code and rule.name and rule.rationale
+
+    def test_at_least_eight_rules(self):
+        assert len(all_rules()) >= 8

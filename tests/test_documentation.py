@@ -26,6 +26,8 @@ PACKAGES = [
     "repro.dashboard",
     "repro.core",
     "repro.perf",
+    "repro.faults",
+    "repro.checks",
 ]
 
 

@@ -19,6 +19,7 @@ from repro.faults import (
     CACHE_WRITE,
     DATASET_READ,
     GEOCODER_REQUEST,
+    KNOWN_SITES,
     PARALLEL_WORKER,
     CircuitBreaker,
     Deadline,
@@ -96,6 +97,17 @@ class TestFaultPlan:
             FaultPlan.parse("geocoder.request:frobnicate")  # unknown kind
         with pytest.raises(ValueError):
             FaultSpec(GEOCODER_REQUEST, FaultKind.TRANSIENT, rate=1.5)
+
+    def test_unknown_site_rejected_with_valid_site_list(self):
+        # a typo'd site would otherwise parse fine and silently never fire
+        with pytest.raises(ValueError) as excinfo:
+            FaultPlan.parse("geocoder.requst:transient*2")
+        message = str(excinfo.value)
+        assert "geocoder.requst" in message
+        for site in KNOWN_SITES:
+            assert site in message
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("cache.reed", FaultKind.CORRUPT)
 
     def test_empty_plan_is_falsy(self):
         assert not FaultPlan()
