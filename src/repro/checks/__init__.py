@@ -1,50 +1,74 @@
-"""``repro.checks`` — an AST-based invariant linter for the pipeline.
+"""``repro.checks`` — an AST-based project analyzer for the pipeline.
 
-The reproduction's value rests on three contracts that code review alone
-cannot hold: every analytic stage is **deterministic** (seeded, replayable
-— the paper's INDICE pipeline end-to-end), every stage-cache fingerprint
-**covers exactly** the config fields that affect outcomes (PR 1), and
-every failure either recovers **bit-identically or logs a degradation**
-(PR 2).  This package walks the project's own AST and fails the build
-when any of them drifts:
+The reproduction's value rests on contracts that code review alone
+cannot hold: every analytic stage is **deterministic** (seeded,
+replayable — the paper's INDICE pipeline end-to-end), every stage-cache
+fingerprint **covers exactly** the config fields that affect outcomes
+(PR 1), every failure either recovers **bit-identically or logs a
+degradation** (PR 2), and — because the pipeline is a fixed chain of
+stages — the **cross-module contracts** hold: columns flow schema →
+stages → dashboards, state crosses the ``ParallelMap`` process boundary
+only via ``initializer``/``initargs``, config fields and CLI flags stay
+in lockstep, and the module graph stays acyclic.  This package walks
+the project's own AST (with a content-hash incremental cache, see
+:mod:`.cache`) and fails the build when any of them drifts:
 
-=========  ==========================  =========================================
-code       name                        contract
-=========  ==========================  =========================================
-DET001     unseeded-rng                determinism: no hidden global RNG state
-DET002     wall-clock                  determinism: no entropy/wall-clock inputs
-DET003     unordered-iteration         determinism: no hash-order in outputs
-CACHE001   cache-fingerprint-coverage  cache: config fields fingerprinted or
-                                       declared perf-only — no silent drift
-FAULT001   fault-site-parity           faults: registered sites <-> inject hooks
-EXC001     silent-broad-except         faults: recover loudly or re-raise
-MUT001     mutable-default             determinism: no cross-call shared state
-FLOAT001   float-equality              analytics: no exact float comparison
-=========  ==========================  =========================================
+=========  ===========================  =========================================
+code       name                         contract
+=========  ===========================  =========================================
+DET001     unseeded-rng                 determinism: no hidden global RNG state
+DET002     wall-clock                   determinism: no entropy/wall-clock inputs
+DET003     unordered-iteration          determinism: no hash-order in outputs
+CACHE001   cache-fingerprint-coverage   cache: config fields fingerprinted or
+                                        declared perf-only — no silent drift
+FAULT001   fault-site-parity            faults: registered sites <-> inject hooks
+EXC001     silent-broad-except          faults: recover loudly or re-raise
+MUT001     mutable-default              determinism: no cross-call shared state
+FLOAT001   float-equality               analytics: no exact float comparison
+COL001     column-read-without-producer lineage: every read column has a producer
+COL002     column-dead-write            lineage: every produced column is read
+COL003     spec-references-unknown-col  lineage: specs only name schema columns
+PAR001     unpicklable-or-stale-capture fork-safety: workers pickle cleanly and
+                                        receive state via initializer/initargs
+PAR002     worker-side-mutation         fork-safety: workers return, never write
+CFG001     config-cli-parity            config: fields <-> argparse destinations
+IMP001     import-cycle                 architecture: the module graph is a DAG
+=========  ===========================  =========================================
 
 Run it with ``python -m repro.checks src/repro`` (or ``repro check``);
 suppress an intentional site with ``# repro: noqa[RULE] — justification``.
+Exit codes distinguish findings (1) from analyzer errors (2).
 """
 
 from .baseline import Baseline
+from .cache import AnalysisCache, analysis_fingerprint
 from .checker import Checker, CheckResult, check_tree, collect_python_files
 from .cli import main
 from .model import Finding, Rule, SourceFile, all_rules, register, rule_codes
 from .pragmas import PragmaIndex, parse_pragmas
+from .project import FileSummary, ProjectIndex, extract_facts, module_name_for
+from .sarif import to_sarif
 
 __all__ = [
+    "AnalysisCache",
     "Baseline",
     "Checker",
     "CheckResult",
+    "FileSummary",
     "Finding",
     "PragmaIndex",
+    "ProjectIndex",
     "Rule",
     "SourceFile",
     "all_rules",
+    "analysis_fingerprint",
     "check_tree",
     "collect_python_files",
+    "extract_facts",
     "main",
+    "module_name_for",
     "parse_pragmas",
     "register",
     "rule_codes",
+    "to_sarif",
 ]

@@ -1,0 +1,136 @@
+"""Incremental analysis cache: per-file summaries keyed by content hash.
+
+Same discipline as :mod:`repro.perf.cache` (the stage cache): a cache
+entry is valid iff a fingerprint of *everything that influenced it*
+matches — here the file's bytes plus an analysis fingerprint covering
+the analyzer's own source and the selected rule set, so editing a rule
+(or this module) invalidates every summary at once.  Writes are atomic
+(temp file + ``os.replace``) and a corrupt or version-skewed cache file
+degrades to a full re-analysis, never to an error: the cache must not
+be able to change or break an analysis, only speed it up.
+
+The payload is the path-free side of :class:`~repro.checks.project.FileSummary`
+(facts, per-file findings, pragmas, parse error), so a warm run rebuilds
+the whole :class:`~repro.checks.project.ProjectIndex` — and re-checks
+every cross-module contract — without parsing a single unchanged file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Sequence
+
+from .model import Rule
+
+__all__ = ["AnalysisCache", "analysis_fingerprint", "content_hash"]
+
+#: Bump when the cache file layout changes.
+CACHE_VERSION = 1
+
+
+def content_hash(data: bytes) -> str:
+    """The cache key of one file's bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def analysis_fingerprint(rules: Sequence[Rule]) -> str:
+    """A digest of the analyzer itself: its source plus the rule set.
+
+    Any edit to the ``repro.checks`` package or a different ``--select``
+    changes the fingerprint, which invalidates the whole cache — the
+    per-file entries only ever need to match bytes against bytes.
+    """
+    digest = hashlib.sha256()
+    package_root = Path(__file__).parent
+    for source in sorted(package_root.rglob("*.py")):
+        digest.update(source.name.encode())
+        digest.update(source.read_bytes())
+    for code in sorted(rule.code for rule in rules):
+        digest.update(code.encode())
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """One JSON file of per-file analysis summaries.
+
+    Parameters
+    ----------
+    path:
+        The cache file location (created on :meth:`save`).
+    fingerprint:
+        The :func:`analysis_fingerprint` of the running analyzer; a file
+        written under a different fingerprint is discarded wholesale.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return
+        except Exception:  # repro: noqa[EXC001] — corrupt cache degrades to a full re-analysis, never an error
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != CACHE_VERSION:
+            return
+        if payload.get("fingerprint") != self.fingerprint:
+            return  # analyzer or rule set changed: all entries are stale
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, digest: str) -> dict | None:
+        """The cached summary entry for one content hash, if fresh."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, digest: str, entry: dict) -> None:
+        """Record the summary entry of one analyzed file."""
+        self._entries[digest] = entry
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (temp file + rename)."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": self._entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(payload, tmp)
+            os.replace(tmp_name, self.path)
+        except OSError:
+            # a failed write leaves the old cache intact; drop the temp
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._entries)

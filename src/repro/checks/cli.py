@@ -1,28 +1,43 @@
-"""Command line of the invariant linter: ``python -m repro.checks``.
+"""Command line of the invariant analyzer: ``python -m repro.checks``.
 
 Usage::
 
     python -m repro.checks src/repro                 # text findings, exit 1 if any
     python -m repro.checks src/ --format=json        # machine-readable output
+    python -m repro.checks src/ --format=sarif       # CI code-scanning output
+    python -m repro.checks src/repro --cache .checks-cache.json
+    python -m repro.checks src/repro --changed-only  # git-aware fast path
     python -m repro.checks src/repro --baseline b.json
     python -m repro.checks src/repro --write-baseline b.json
+    python -m repro.checks --all                     # sweep + ruff + mypy
     python -m repro.checks --list-rules
 
-Exit codes: 0 clean, 1 findings (or unparseable files), 2 usage errors.
+Exit codes: **0** clean, **1** findings (or unparseable files), **2**
+usage errors and internal analyzer errors — so CI can distinguish "the
+code has violations" from "the analyzer itself broke".
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
+import subprocess
 import sys
+from pathlib import Path
 from typing import Sequence, TextIO
 
 from .baseline import Baseline
+from .cache import AnalysisCache, analysis_fingerprint
 from .checker import Checker, CheckResult
 from .model import all_rules
+from .sarif import to_sarif
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "UsageError"]
+
+
+class UsageError(Exception):
+    """A command-line usage problem (exit code 2)."""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,8 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.checks",
         description=(
-            "AST-based invariant linter proving the pipeline's determinism, "
-            "cache-fingerprint and fault-site contracts"
+            "AST-based project analyzer proving the pipeline's determinism, "
+            "cache-fingerprint, fault-site, column-lineage, fork-safety and "
+            "config-parity contracts"
         ),
     )
     parser.add_argument(
@@ -39,12 +55,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="findings as clickable file:line lines (text) or one JSON document",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="clickable file:line lines (text), one JSON document, or SARIF 2.1.0",
     )
     parser.add_argument(
         "--select", metavar="RULES", default=None,
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--cache", metavar="PATH", default=None,
+        help="incremental analysis cache file (content-hash keyed)",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help=(
+            "report per-file findings only for files changed vs. git HEAD "
+            "(cross-module findings are always reported)"
+        ),
     )
     parser.add_argument(
         "--baseline", metavar="PATH", default=None,
@@ -53,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--write-baseline", metavar="PATH", default=None,
         help="write the current findings as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="run the AST sweep plus ruff and mypy (each skipped if missing)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -72,11 +103,36 @@ def _select_rules(spec: str) -> list:
     known = {rule.code for rule in all_rules()}
     unknown = sorted(wanted - known)
     if unknown:
-        raise SystemExit(
+        raise UsageError(
             f"unknown rule code(s): {', '.join(unknown)} "
-            f"(known: {', '.join(sorted(known))})"
+            f"(valid: {', '.join(sorted(known))})"
         )
     return rules
+
+
+def _changed_files() -> set[Path]:
+    """Files changed vs. HEAD (tracked modifications plus untracked)."""
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True, timeout=30,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True, text=True, check=True, timeout=30,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True, timeout=30,
+        ).stdout
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise UsageError(f"--changed-only needs a working git checkout: {exc}")
+    root = Path(top)
+    return {
+        (root / line).resolve()
+        for line in (diff + untracked).splitlines()
+        if line.strip()
+    }
 
 
 def _render_text(result: CheckResult, out: TextIO) -> None:
@@ -89,13 +145,42 @@ def _render_text(result: CheckResult, out: TextIO) -> None:
         f"{result.n_suppressed} pragma-suppressed, "
         f"{result.n_baselined} baselined"
     )
+    if result.n_from_cache:
+        summary += f", {result.n_from_cache} from cache"
     if result.errors:
         summary += f", {len(result.errors)} unparseable"
     out.write(summary + "\n")
 
 
+def _run_lint_tools(out: TextIO) -> int:
+    """Run ruff and mypy when available; 0 when both pass or are absent."""
+    worst = 0
+    if shutil.which("ruff") is not None:
+        proc = subprocess.run(
+            ["ruff", "check", "src", "tests"],
+            capture_output=True, text=True, timeout=600,
+        )
+        out.write(proc.stdout + proc.stderr)
+        out.write(f"ruff: exit {proc.returncode}\n")
+        worst = max(worst, 1 if proc.returncode else 0)
+    else:
+        out.write("ruff: not installed, skipped\n")
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        out.write("mypy: not installed, skipped\n")
+        return worst
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        capture_output=True, text=True, timeout=600,
+    )
+    out.write(proc.stdout + proc.stderr)
+    out.write(f"mypy: exit {proc.returncode}\n")
+    return max(worst, 1 if proc.returncode else 0)
+
+
 def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code (0/1/2, see module doc)."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
 
@@ -103,10 +188,25 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
         _print_rules(out)
         return 0
 
-    rules = _select_rules(args.select) if args.select else None
-    baseline = Baseline.load(args.baseline) if args.baseline else None
-    checker = Checker(rules=rules, baseline=baseline)
-    result = checker.run(args.paths)
+    try:
+        rules = _select_rules(args.select) if args.select else list(all_rules())
+        changed = _changed_files() if args.changed_only else None
+        baseline = Baseline.load(args.baseline) if args.baseline else None
+        cache = (
+            AnalysisCache(args.cache, analysis_fingerprint(rules))
+            if args.cache
+            else None
+        )
+    except (UsageError, ValueError, OSError) as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+
+    checker = Checker(rules=rules, baseline=baseline, cache=cache)
+    try:
+        result = checker.run(args.paths, changed_only=changed)
+    except Exception as exc:  # repro: noqa[EXC001] — boundary: an analyzer crash must exit 2, not a traceback
+        out.write(f"internal analyzer error: {exc!r}\n")
+        return 2
 
     if args.write_baseline:
         path = Baseline.from_findings(result.findings).save(args.write_baseline)
@@ -117,9 +217,15 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
 
     if args.format == "json":
         out.write(json.dumps(result.to_dict(), indent=2) + "\n")
+    elif args.format == "sarif":
+        out.write(json.dumps(to_sarif(result, rules), indent=2) + "\n")
     else:
         _render_text(result, out)
-    return 0 if result.ok else 1
+    code = 0 if result.ok else 1
+
+    if args.all:
+        code = max(code, _run_lint_tools(out))
+    return code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,243 @@
+"""Column lineage: where column names are declared, produced and consumed.
+
+The pipeline moves data through :class:`repro.dataset.table.Table`, whose
+columns are addressed by string literals. Those literals are the
+project's de-facto column namespace: the schema declares them
+(``_num``/``_cat``/``_txt``/``AttributeSpec``), stages produce them
+(``Column(...)`` constructions, ``rename`` targets), and downstream
+stages consume them (subscripts, ``group_by``/``sort_by``/``aggregate``,
+projection lists, ``by=``/``response=`` keywords) or reference them from
+dashboard/query specs (``Comparison``, ``RecommendedReport``,
+stakeholder attribute tuples, discretization plans).
+
+This module extracts those four site classes from one parsed file into a
+JSON-serializable dict; :class:`~repro.checks.project.ProjectIndex`
+aggregates them across files and the COL00x rules check the flow.
+
+Every site records ``[name, lineno, col]`` (spec sites may instead carry
+a ``ref`` to a module-level constant, resolved cross-module at rule
+time). Bare ``x["k"]`` subscripts are only treated as column reads when
+the receiver is recognizably a table (named ``table``/``*_table`` or a
+``.table`` attribute) — otherwise every dict lookup in the codebase
+would masquerade as lineage.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["extract_lineage"]
+
+#: Schema-declaration constructors: first string argument declares a column.
+_DECLARING_CALLS = frozenset({"_num", "_cat", "_txt", "AttributeSpec"})
+
+#: ``Column`` classmethods that construct a named column.
+_COLUMN_FACTORIES = frozenset({"numeric", "categorical", "text", "from_kind"})
+
+#: Table methods whose first string argument reads one column.
+_SINGLE_CONSUMERS = frozenset(
+    {"column", "kind", "sort_by", "group_by", "group_indices"}
+)
+
+#: Table methods whose first list/tuple argument reads several columns.
+_LIST_CONSUMERS = frozenset({"select", "drop", "drop_missing", "to_matrix"})
+
+#: Keyword (or parameter-default) names that carry a column name.
+_COLUMN_KEYWORDS = frozenset({"by", "on", "response", "region_column"})
+
+#: ``by``/``on`` are column names only on table-aware callables — e.g.
+#: ``RuleMiner.top_k(rules, 5, by="lift")`` ranks by a rule-quality
+#: index, not a Table column, and must stay out of the lineage.
+_GROUPING_KEYWORDS = frozenset({"by", "on"})
+_GROUPING_CALLABLES = frozenset(
+    {
+        "aggregate", "group_by", "group_indices", "sort_by", "join",
+        "grouped_histograms", "response_histograms", "temporal_summary",
+        "profile_clusters",
+    }
+)
+
+
+def _string(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _is_table_receiver(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "table" or node.id.endswith("_table")
+    if isinstance(node, ast.Attribute):
+        return node.attr == "table" or node.attr.endswith("_table")
+    return False
+
+
+def _site(name: str, node: ast.AST) -> list:
+    return [name, node.lineno, node.col_offset]
+
+
+def _ref_site(ref: str, node: ast.AST) -> dict:
+    return {"ref": ref, "lineno": node.lineno, "col": node.col_offset}
+
+
+def _callable_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _spec_value(node: ast.expr, out: list) -> None:
+    """A spec argument: literal string, constant ref, or a sequence of them."""
+    text = _string(node)
+    if text is not None:
+        out.append(_site(text, node))
+    elif isinstance(node, ast.Name):
+        out.append(_ref_site(node.id, node))
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for elt in node.elts:
+            _spec_value(elt, out)
+    elif isinstance(node, ast.BinOp):  # BASE + ("extra",) concatenations
+        _spec_value(node.left, out)
+        _spec_value(node.right, out)
+
+
+def extract_lineage(tree: ast.Module) -> dict:
+    """``{declared, produced, consumed, spec_refs}`` site lists for one file."""
+    declared: list = []
+    produced: list = []
+    consumed: list = []
+    spec_refs: list = []
+
+    def consume_single(node: ast.expr) -> None:
+        text = _string(node)
+        if text is not None:
+            consumed.append(_site(text, node))
+
+    def consume_list(node: ast.expr) -> None:
+        if isinstance(node, (ast.List, ast.Tuple)):
+            for elt in node.elts:
+                consume_single(elt)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+            if _is_table_receiver(node.value):
+                consume_single(node.slice)
+
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # ``def f(..., by: str = "cluster")`` consumes "cluster" —
+            # but only in table-aware functions for the by/on params
+
+            def param_is_column(param: str) -> bool:
+                if param not in _COLUMN_KEYWORDS:
+                    return False
+                return (
+                    param not in _GROUPING_KEYWORDS
+                    or node.name in _GROUPING_CALLABLES
+                )
+
+            positional = node.args.args
+            defaults = node.args.defaults
+            for arg, default in zip(positional[len(positional) - len(defaults):], defaults):
+                if param_is_column(arg.arg):
+                    consume_single(default)
+            for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+                if default is not None and param_is_column(arg.arg):
+                    consume_single(default)
+
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and "DISCRETIZATION_PLAN" in target.id
+                and isinstance(node.value, ast.Dict)
+            ):
+                for key in node.value.keys:
+                    if key is not None:
+                        _spec_value(key, spec_refs)
+
+        elif isinstance(node, ast.Call):
+            name = _callable_name(node.func)
+            if name is None:
+                continue
+
+            if name in _DECLARING_CALLS and node.args:
+                text = _string(node.args[0])
+                if text is not None:
+                    declared.append(_site(text, node.args[0]))
+
+            elif name == "Column" and node.args:
+                text = _string(node.args[0])
+                if text is not None:
+                    produced.append(_site(text, node.args[0]))
+
+            elif (
+                name in _COLUMN_FACTORIES
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "Column"
+                and node.args
+            ):
+                text = _string(node.args[0])
+                if text is not None:
+                    produced.append(_site(text, node.args[0]))
+
+            elif name in ("from_columns", "from_rows") and node.args:
+                if isinstance(node.args[0], ast.Dict):
+                    for key in node.args[0].keys:
+                        if key is not None and _string(key) is not None:
+                            produced.append(_site(_string(key), key))
+
+            elif name == "rename" and node.args:
+                # keys are read from the old table, values are new columns
+                if isinstance(node.args[0], ast.Dict):
+                    for key, value in zip(node.args[0].keys, node.args[0].values):
+                        if key is not None:
+                            consume_single(key)
+                        text = _string(value)
+                        if text is not None:
+                            produced.append(_site(text, value))
+
+            elif name in _SINGLE_CONSUMERS and node.args:
+                consume_single(node.args[0])
+
+            elif name in _LIST_CONSUMERS and node.args:
+                consume_list(node.args[0])
+                if node.args[0] is not None and _string(node.args[0]) is not None:
+                    consume_single(node.args[0])
+
+            elif name == "aggregate":
+                # aggregate(by, name, func) reads both named columns
+                for arg in node.args[:2]:
+                    consume_single(arg)
+
+            elif name == "Comparison" and node.args:
+                _spec_value(node.args[0], spec_refs)
+
+            elif name == "RecommendedReport":
+                if len(node.args) > 4:
+                    _spec_value(node.args[4], spec_refs)
+
+            elif name == "StakeholderProfile":
+                pass  # attributes arrive via the default_attributes keyword
+
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg == "attribute" and name == "RecommendedReport":
+                        _spec_value(kw.value, spec_refs)
+                    elif kw.arg == "default_attributes":
+                        _spec_value(kw.value, spec_refs)
+                    elif kw.arg in _COLUMN_KEYWORDS and (
+                        kw.arg not in _GROUPING_KEYWORDS
+                        or name in _GROUPING_CALLABLES
+                        or name in _SINGLE_CONSUMERS
+                    ):
+                        consume_single(kw.value)
+
+    return {
+        "declared": declared,
+        "produced": produced,
+        "consumed": consumed,
+        "spec_refs": spec_refs,
+    }

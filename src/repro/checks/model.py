@@ -15,7 +15,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, types only
+    from .project import ProjectIndex
 
 __all__ = [
     "Finding",
@@ -79,9 +82,13 @@ class Rule:
     """Base class of every check.
 
     Subclasses set the class attributes and override :meth:`check_file`
-    (runs once per file) and/or :meth:`check_project` (runs once per
-    analysis over the whole file set — for cross-file contracts like
-    fault-site parity).
+    (runs once per file; results are cacheable per content hash),
+    :meth:`check_index` (runs once per analysis over the aggregated
+    :class:`~repro.checks.project.ProjectIndex` facts — the preferred
+    form for cross-file contracts, because it never needs the ASTs of
+    cached files), or the legacy :meth:`check_project` (runs over the
+    parsed file set; forces a parse of every file, so new cross-file
+    rules should use :meth:`check_index` instead).
     """
 
     #: Stable identifier, e.g. ``DET001`` (used in findings and pragmas).
@@ -93,6 +100,10 @@ class Rule:
 
     def check_file(self, file: SourceFile) -> Iterator[Finding]:
         """Findings of this rule in one file (default: none)."""
+        return iter(())
+
+    def check_index(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Findings over the whole-program fact index (default: none)."""
         return iter(())
 
     def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:

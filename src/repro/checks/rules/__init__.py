@@ -6,10 +6,13 @@ Modules group rules by the contract they defend:
   entropy), DET003 (unordered iteration escaping into results);
 * :mod:`.contracts` — CACHE001 (stage-cache fingerprint coverage),
   FAULT001 (fault-site registry/hook parity);
+* :mod:`.crossmodule` — COL001/COL002/COL003 (column lineage),
+  PAR001/PAR002 (ParallelMap fork-safety), CFG001 (IndiceConfig ↔ CLI
+  parity), IMP001 (import cycles);
 * :mod:`.hygiene` — EXC001 (silent broad except), MUT001 (mutable
   defaults), FLOAT001 (float equality).
 """
 
-from . import contracts, determinism, hygiene
+from . import contracts, crossmodule, determinism, hygiene
 
-__all__ = ["contracts", "determinism", "hygiene"]
+__all__ = ["contracts", "crossmodule", "determinism", "hygiene"]

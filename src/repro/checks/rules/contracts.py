@@ -1,8 +1,10 @@
 """Project-contract rules: cache fingerprints and fault-site parity.
 
-These rules are cross-file (they run once per analysis over the whole
-file set) and *semantic*: they reconstruct the pipeline's own registries
-from the code under analysis and diff them.
+These rules are cross-file and *semantic*: they reconstruct the
+pipeline's own registries from the code under analysis and diff them.
+Both run against the :class:`~repro.checks.project.ProjectIndex` facts
+(not the ASTs), so a warm incremental run checks them without re-parsing
+a single unchanged file.
 
 * **CACHE001** — every ``IndiceConfig`` field must be either fingerprinted
   into a stage-cache key (``_PREPROCESS_FIELDS`` / ``_ANALYZE_FIELDS`` in
@@ -21,10 +23,12 @@ from the code under analysis and diff them.
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator
 
-from ..model import Finding, Rule, SourceFile, register
+from ..model import Finding, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, types only
+    from ..project import FileSummary, ProjectIndex
 
 __all__ = ["CacheFingerprintCoverage", "FaultSiteParity"]
 
@@ -32,57 +36,6 @@ __all__ = ["CacheFingerprintCoverage", "FaultSiteParity"]
 FINGERPRINT_TUPLES = ("_PREPROCESS_FIELDS", "_ANALYZE_FIELDS")
 #: The cache tuple naming the outcome-neutral fields.
 EXCLUSION_TUPLE = "PERF_ONLY_FIELDS"
-
-
-def _string_tuple_assignments(
-    file: SourceFile, names: tuple[str, ...]
-) -> dict[str, tuple[int, tuple[str, ...]]]:
-    """Top-level ``NAME = ("a", "b", ...)`` assignments among *names*.
-
-    Returns ``{name: (lineno, values)}`` for every match whose value is a
-    tuple of string constants.
-    """
-    out: dict[str, tuple[int, tuple[str, ...]]] = {}
-    for node in file.tree.body:
-        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
-            continue
-        target = node.targets[0]
-        if not isinstance(target, ast.Name) or target.id not in names:
-            continue
-        if not isinstance(node.value, ast.Tuple):
-            continue
-        values = []
-        for elt in node.value.elts:
-            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
-                values.append(elt.value)
-        out[target.id] = (node.lineno, tuple(values))
-    return out
-
-
-def _is_dataclass_def(node: ast.ClassDef) -> bool:
-    for decorator in node.decorator_list:
-        target = decorator.func if isinstance(decorator, ast.Call) else decorator
-        name = target.id if isinstance(target, ast.Name) else (
-            target.attr if isinstance(target, ast.Attribute) else None
-        )
-        if name == "dataclass":
-            return True
-    return False
-
-
-def _dataclass_fields(node: ast.ClassDef) -> list[tuple[str, int]]:
-    """``(name, lineno)`` of every field declared in the class body."""
-    fields = []
-    for stmt in node.body:
-        if not isinstance(stmt, ast.AnnAssign):
-            continue
-        if not isinstance(stmt.target, ast.Name):
-            continue
-        annotation = ast.unparse(stmt.annotation)
-        if "ClassVar" in annotation:
-            continue
-        fields.append((stmt.target.id, stmt.lineno))
-    return fields
 
 
 @register
@@ -100,66 +53,69 @@ class CacheFingerprintCoverage(Rule):
     #: Name of the config dataclass whose fields must be covered.
     config_class = "IndiceConfig"
 
-    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+    def check_index(self, index: "ProjectIndex") -> Iterator[Finding]:
         """Diff the dataclass fields against the fingerprint tuples."""
-        config_file: SourceFile | None = None
-        class_node: ast.ClassDef | None = None
-        for file in files:
-            for node in file.tree.body:
-                if (
-                    isinstance(node, ast.ClassDef)
-                    and node.name == self.config_class
-                    and _is_dataclass_def(node)
-                ):
-                    config_file, class_node = file, node
-                    break
-            if class_node is not None:
+        config_summary: "FileSummary | None" = None
+        fields: list = []
+        for summary in index.summaries:
+            entry = summary.facts.get("dataclasses", {}).get(self.config_class)
+            if entry is not None:
+                config_summary = summary
+                fields = entry["fields"]
                 break
-        if config_file is None or class_node is None:
+        if config_summary is None:
             return  # nothing to check in this file set
 
-        fingerprinted: dict[str, tuple[SourceFile, int, tuple[str, ...]]] = {}
+        #: tuple name -> (owning summary, lineno, values, has unresolved refs)
+        fingerprinted: dict[str, tuple] = {}
         wanted = FINGERPRINT_TUPLES + (EXCLUSION_TUPLE,)
-        for file in files:
-            for name, (lineno, values) in _string_tuple_assignments(
-                file, wanted
-            ).items():
-                fingerprinted[name] = (file, lineno, values)
+        for summary in index.summaries:
+            tuples = summary.facts.get("string_tuples", {})
+            for name in wanted:
+                entry = tuples.get(name)
+                if entry is not None:
+                    fingerprinted[name] = (
+                        summary,
+                        entry["lineno"],
+                        tuple(entry["values"]),
+                        bool(entry.get("name_refs")),
+                    )
         if not fingerprinted:
             return  # config class scanned without the engine/cache modules
 
-        fields = _dataclass_fields(class_node)
-        field_names = {name for name, __ in fields}
+        field_names = {name for name, __, ___ in fields}
         covered: set[str] = set()
-        for __, (___, ____, values) in sorted(fingerprinted.items()):
+        for __, (___, ____, values, _____) in sorted(fingerprinted.items()):
             covered |= set(values)
 
-        for name, lineno in fields:
+        for name, lineno, __ in fields:
             if name not in covered:
                 yield Finding(
-                    config_file.display, lineno, 0, self.code,
+                    config_summary.display, lineno, 0, self.code,
                     f"{self.config_class}.{name} is neither fingerprinted "
                     f"({' / '.join(FINGERPRINT_TUPLES)}) nor declared "
                     f"outcome-neutral ({EXCLUSION_TUPLE}); a change to it "
                     "would silently reuse stale stage-cache entries",
                 )
         for tuple_name in sorted(fingerprinted):
-            file, lineno, values = fingerprinted[tuple_name]
+            summary, lineno, values, __ = fingerprinted[tuple_name]
             for value in values:
                 if value not in field_names:
                     yield Finding(
-                        file.display, lineno, 0, self.code,
+                        summary.display, lineno, 0, self.code,
                         f"'{value}' in {tuple_name} is not a field of "
                         f"{self.config_class} (stale or misspelled entry)",
                     )
 
-        yield from self._runtime_cross_check(config_file, field_names, fingerprinted)
+        yield from self._runtime_cross_check(
+            config_summary, field_names, fingerprinted
+        )
 
     def _runtime_cross_check(
         self,
-        config_file: SourceFile,
+        config_summary: "FileSummary",
         static_fields: set[str],
-        fingerprinted: dict[str, tuple[SourceFile, int, tuple[str, ...]]],
+        fingerprinted: dict[str, tuple],
     ) -> Iterator[Finding]:
         """Import the real modules and diff runtime vs. static views.
 
@@ -178,7 +134,10 @@ class CacheFingerprintCoverage(Rule):
         try:
             import repro.core.config as _config_module
 
-            if Path(_config_module.__file__).resolve() != config_file.path.resolve():
+            if (
+                Path(_config_module.__file__).resolve()
+                != config_summary.path.resolve()
+            ):
                 return
         except (OSError, TypeError):
             return
@@ -186,7 +145,7 @@ class CacheFingerprintCoverage(Rule):
         runtime_fields = {f.name for f in dataclasses.fields(IndiceConfig)}
         for name in sorted(runtime_fields - static_fields):
             yield Finding(
-                config_file.display, 1, 0, self.code,
+                config_summary.display, 1, 0, self.code,
                 f"runtime field {self.config_class}.{name} is invisible to "
                 "static analysis (added dynamically?); declare it in the "
                 "class body so fingerprint coverage can be proven",
@@ -199,10 +158,12 @@ class CacheFingerprintCoverage(Rule):
         for tuple_name in sorted(runtime_tuples):
             if tuple_name not in fingerprinted:
                 continue
-            file, lineno, static_values = fingerprinted[tuple_name]
+            summary, lineno, static_values, has_refs = fingerprinted[tuple_name]
+            if has_refs:
+                continue  # constant-name entries resolve elsewhere
             if tuple(runtime_tuples[tuple_name]) != static_values:
                 yield Finding(
-                    file.display, lineno, 0, self.code,
+                    summary.display, lineno, 0, self.code,
                     f"{tuple_name} at runtime differs from its source "
                     "literal (computed or patched?); keep it a literal "
                     "tuple of field names so coverage can be proven",
@@ -224,104 +185,56 @@ class FaultSiteParity(Rule):
     #: Methods whose first argument names an injection site.
     hook_methods = ("arrive", "fire")
 
-    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+    def check_index(self, index: "ProjectIndex") -> Iterator[Finding]:
         """Diff the site registry against the hook call sites."""
-        registry_file: SourceFile | None = None
+        registry_summary: "FileSummary | None" = None
         registry_line = 0
         registered: tuple[str, ...] = ()
         const_names: dict[str, str] = {}
 
-        for file in files:
-            assigns = _string_tuple_assignments(file, ("KNOWN_SITES",))
-            constants = self._string_constants(file)
-            if "KNOWN_SITES" in assigns:
-                lineno, literal_values = assigns["KNOWN_SITES"]
-                registry_file, registry_line = file, lineno
-                registered = literal_values or self._named_tuple_values(
-                    file, constants
-                )
-                const_names.update(constants)
-        if registry_file is None:
+        for summary in index.summaries:
+            entry = summary.facts.get("string_tuples", {}).get("KNOWN_SITES")
+            if entry is None:
+                continue
+            constants = summary.facts.get("string_consts", {})
+            registry_summary, registry_line = summary, entry["lineno"]
+            literal_values = tuple(entry["values"])
+            named_values = tuple(
+                constants[ref]
+                for ref in entry.get("name_refs", ())
+                if ref in constants
+            )
+            registered = literal_values or named_values
+            const_names.update(constants)
+        if registry_summary is None:
             return  # no site registry in this file set
 
-        called: dict[str, list[tuple[SourceFile, int, int]]] = {}
-        for file in files:
-            for node in ast.walk(file.tree):
-                if not isinstance(node, ast.Call) or not node.args:
+        called: dict[str, list[tuple]] = {}
+        for summary in index.summaries:
+            for method, site, ref, lineno, col in summary.facts.get(
+                "hook_calls", ()
+            ):
+                if method not in self.hook_methods:
                     continue
-                func = node.func
-                if not isinstance(func, ast.Attribute):
+                resolved = site or const_names.get(ref)
+                if not resolved:
                     continue
-                if func.attr not in self.hook_methods:
-                    continue
-                site = self._site_of(node.args[0], const_names)
-                if site is None:
-                    continue
-                called.setdefault(site, []).append(
-                    (file, node.lineno, node.col_offset)
-                )
+                called.setdefault(resolved, []).append((summary, lineno, col))
 
         for site in registered:
             if site not in called:
                 yield Finding(
-                    registry_file.display, registry_line, 0, self.code,
+                    registry_summary.display, registry_line, 0, self.code,
                     f"registered fault site '{site}' has no arrive()/fire() "
                     "call site; a plan naming it would silently never fire",
                 )
         for site in sorted(called):
             if site in registered:
                 continue
-            for file, lineno, col in called[site]:
+            for summary, lineno, col in called[site]:
                 yield Finding(
-                    file.display, lineno, col, self.code,
+                    summary.display, lineno, col, self.code,
                     f"injection call site uses unregistered fault site "
                     f"'{site}'; add it to KNOWN_SITES so plans can target "
                     "(and validators can accept) it",
                 )
-
-    @staticmethod
-    def _string_constants(file: SourceFile) -> dict[str, str]:
-        """Top-level ``NAME = "literal"`` assignments of one module."""
-        out: dict[str, str] = {}
-        for node in file.tree.body:
-            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
-                continue
-            target = node.targets[0]
-            if not isinstance(target, ast.Name):
-                continue
-            if isinstance(node.value, ast.Constant) and isinstance(
-                node.value.value, str
-            ):
-                out[target.id] = node.value.value
-        return out
-
-    @staticmethod
-    def _named_tuple_values(
-        file: SourceFile, constants: dict[str, str]
-    ) -> tuple[str, ...]:
-        """KNOWN_SITES values when the tuple holds constant *names*."""
-        for node in file.tree.body:
-            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
-                continue
-            target = node.targets[0]
-            if not isinstance(target, ast.Name) or target.id != "KNOWN_SITES":
-                continue
-            if not isinstance(node.value, ast.Tuple):
-                continue
-            values = []
-            for elt in node.value.elts:
-                if isinstance(elt, ast.Name) and elt.id in constants:
-                    values.append(constants[elt.id])
-                elif isinstance(elt, ast.Constant) and isinstance(elt.value, str):
-                    values.append(elt.value)
-            return tuple(values)
-        return ()
-
-    @staticmethod
-    def _site_of(arg: ast.expr, const_names: dict[str, str]) -> str | None:
-        """Resolve a hook call's site argument to its site string."""
-        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
-            return arg.value
-        if isinstance(arg, ast.Name):
-            return const_names.get(arg.id)
-        return None

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 output for CI code-scanning integrations.
+
+Emits the minimal valid subset: one run, one driver tool, the registered
+rules as ``reportingDescriptor`` entries and each finding (plus each
+parse error, under the synthetic ``PARSE`` rule) as a ``result`` with a
+physical location.  GitHub code scanning and most SARIF viewers accept
+exactly this shape, and ``tests/test_checks.py`` round-trips it through
+``json.loads`` to keep the contract pinned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from .model import Rule
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, types only
+    from .checker import CheckResult
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Synthetic rule id for files the analyzer could not parse.
+PARSE_RULE_ID = "PARSE"
+
+
+def _location(path: str, line: int, col: int) -> dict:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {
+                "startLine": max(line, 1),
+                "startColumn": max(col, 0) + 1,  # SARIF columns are 1-based
+            },
+        }
+    }
+
+
+def to_sarif(result: "CheckResult", rules: Sequence[Rule]) -> dict:
+    """The SARIF payload of one analysis (``json.dump``-ready)."""
+    descriptors = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.rationale},
+        }
+        for rule in rules
+    ]
+    descriptors.append(
+        {
+            "id": PARSE_RULE_ID,
+            "name": "parse-error",
+            "shortDescription": {"text": "the file could not be parsed"},
+        }
+    )
+
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [_location(finding.path, finding.line, finding.col)],
+        }
+        for finding in result.findings
+    ]
+    for path, message in result.errors:
+        results.append(
+            {
+                "ruleId": PARSE_RULE_ID,
+                "level": "error",
+                "message": {"text": message},
+                "locations": [_location(path, 1, 0)],
+            }
+        )
+
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-checks",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -79,16 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser(
         "check",
-        help="run the repro.checks invariant linter (determinism/cache/fault contracts)",
+        help="run the repro.checks project analyzer (determinism/cache/fault/lineage contracts)",
     )
     check.add_argument(
         "paths", nargs="*", default=["src/repro"],
         help="files or directories to analyze (default: src/repro)",
     )
-    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     check.add_argument("--select", metavar="RULES", default=None)
+    check.add_argument("--cache", metavar="PATH", default=None)
+    check.add_argument("--changed-only", action="store_true")
     check.add_argument("--baseline", metavar="PATH", default=None)
     check.add_argument("--write-baseline", metavar="PATH", default=None)
+    check.add_argument("--all", action="store_true",
+                       help="AST sweep plus ruff/mypy (skipped when missing)")
     check.add_argument("--list-rules", action="store_true")
     return parser
 
@@ -209,10 +213,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
     argv += ["--format", args.format]
     if args.select:
         argv += ["--select", args.select]
+    if args.cache:
+        argv += ["--cache", str(args.cache)]
+    if args.changed_only:
+        argv += ["--changed-only"]
     if args.baseline:
         argv += ["--baseline", str(args.baseline)]
     if args.write_baseline:
         argv += ["--write-baseline", str(args.write_baseline)]
+    if args.all:
+        argv += ["--all"]
     if args.list_rules:
         argv += ["--list-rules"]
     return checks_main(argv)

@@ -1,0 +1,30 @@
+"""CFG001 positive: config/CLI drift (3 findings)."""
+
+import argparse
+from dataclasses import dataclass
+
+PERF_ONLY_FIELDS = ("n_jobs", "stage_cache", "cache_dir")
+
+_PREPROCESS_FIELDS = ("seed",)
+
+
+@dataclass
+class IndiceConfig:
+    seed: int = 0
+    n_jobs: int = 1
+    stage_cache: bool = True
+    cache_dir: str = ""
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
+    return parser
+
+
+def apply_arguments(config: IndiceConfig, args):
+    config.njobs = args.jobs
+    config.stage_cache = not args.no_cache
+    config.cache_dir = str(args.cachedir)
+    return config

@@ -1,0 +1,32 @@
+"""CFG001 negative: every field, flag and args read is in lockstep."""
+
+import argparse
+from dataclasses import dataclass, field
+
+PERF_ONLY_FIELDS = ("n_jobs", "stage_cache", "cache_dir", "resilience")
+
+_PREPROCESS_FIELDS = ("seed",)
+
+
+@dataclass
+class IndiceConfig:
+    seed: int = 0
+    n_jobs: int = 1
+    stage_cache: bool = True
+    cache_dir: str = ""
+    resilience: dict = field(default_factory=dict)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--cache-dir", default="")
+    return parser
+
+
+def apply_arguments(config: IndiceConfig, args):
+    config.n_jobs = args.jobs
+    config.stage_cache = not args.no_cache
+    config.cache_dir = str(args.cache_dir)
+    return config

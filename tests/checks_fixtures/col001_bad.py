@@ -1,0 +1,15 @@
+"""COL001 positive: table columns read with no producer (2 findings)."""
+
+
+def build_schema():
+    return [
+        AttributeSpec("eph", "numeric"),
+        AttributeSpec("heated_surface", "numeric"),
+    ]
+
+
+def read(table):
+    good = table["eph"]
+    ghost = table["epw"]
+    other = table.column("heated_surfaces")
+    return good, ghost, other

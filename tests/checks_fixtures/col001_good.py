@@ -1,0 +1,13 @@
+"""COL001 negative: every read column is declared or produced."""
+
+
+def build_schema():
+    return [
+        AttributeSpec("eph", "numeric"),
+        AttributeSpec("heated_surface", "numeric"),
+    ]
+
+
+def read(table):
+    score_table = table.with_column(Column("score", "numeric", [1]))
+    return table["eph"], table.column("heated_surface"), score_table["score"]

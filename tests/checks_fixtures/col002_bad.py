@@ -1,0 +1,12 @@
+"""COL002 positive: produced columns nothing consumes (2 findings)."""
+
+
+def build_schema():
+    return [AttributeSpec("eph", "numeric")]
+
+
+def attach(table, kind, values):
+    out = table.with_column(Column("score", kind, values))
+    out = out.with_column(Column("debug_tmp", kind, values))
+    out = out.with_column(Column.numeric("scratch_col", values))
+    return out, table["score"]

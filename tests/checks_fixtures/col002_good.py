@@ -1,0 +1,11 @@
+"""COL002 negative: every produced column has a downstream reader."""
+
+
+def build_schema():
+    return [AttributeSpec("eph", "numeric")]
+
+
+def attach(table, kind, values):
+    out = table.with_column(Column("score", kind, values))
+    out = out.with_column(Column("band", kind, values))
+    return out.group_by("band"), table["score"]

@@ -1,0 +1,22 @@
+"""COL003 positive: specs referencing undeclared columns (2 findings)."""
+
+
+def build_schema():
+    return [
+        AttributeSpec("eph", "numeric"),
+        AttributeSpec("u_value_opaque", "numeric"),
+    ]
+
+
+RESPONSE = "eph"
+
+FILTERS = (
+    Comparison("energy_klass", "==", "A"),
+    Comparison(RESPONSE, ">", 0),
+    Comparison("u_value_opaque", ">", 0.8),
+)
+
+DEFAULT_DISCRETIZATION_PLAN = {
+    "eph": 4,
+    "wall_thickness": 3,
+}

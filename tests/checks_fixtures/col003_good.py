@@ -1,0 +1,21 @@
+"""COL003 negative: every spec names a declared column."""
+
+
+def build_schema():
+    return [
+        AttributeSpec("eph", "numeric"),
+        AttributeSpec("u_value_opaque", "numeric"),
+    ]
+
+
+RESPONSE = "eph"
+
+FILTERS = (
+    Comparison(RESPONSE, ">", 0),
+    Comparison("u_value_opaque", ">", 0.8),
+)
+
+DEFAULT_DISCRETIZATION_PLAN = {
+    "eph": 4,
+    "u_value_opaque": 3,
+}

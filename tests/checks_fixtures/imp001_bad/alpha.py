@@ -1,0 +1,7 @@
+"""IMP001 positive, first half: alpha imports beta at module scope."""
+
+import beta
+
+
+def alpha_value():
+    return beta.beta_value() + 1

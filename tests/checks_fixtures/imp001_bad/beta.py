@@ -1,0 +1,11 @@
+"""IMP001 positive, second half: beta imports alpha back — a cycle."""
+
+import alpha
+
+
+def beta_value():
+    return 1
+
+
+def roundtrip():
+    return alpha.alpha_value()

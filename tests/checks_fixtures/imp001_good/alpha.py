@@ -1,0 +1,7 @@
+"""IMP001 negative, first half: alpha imports beta, one direction only."""
+
+import beta
+
+
+def alpha_value():
+    return beta.beta_value() + 1

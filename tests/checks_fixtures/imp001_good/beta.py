@@ -1,0 +1,15 @@
+"""IMP001 negative, second half: beta breaks the cycle with a lazy import.
+
+The function-scope import is the sanctioned cycle breaker — it runs at
+call time, not at module-exec time, so IMP001 must not count it.
+"""
+
+
+def beta_value():
+    return 1
+
+
+def roundtrip():
+    import alpha
+
+    return alpha.alpha_value()

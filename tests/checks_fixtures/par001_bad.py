@@ -1,0 +1,22 @@
+"""PAR001 positive: unpicklable or stale-capture submissions (3 findings)."""
+
+_CACHE = {}
+
+
+def warm_cache(entries):
+    _CACHE.update(entries)
+
+
+def lookup(item):
+    return _CACHE.get(item)
+
+
+def run(executor, items):
+    first = executor.map(lookup, items)
+    second = executor.map(lambda item: item + 1, items)
+
+    def helper(item):
+        return item * 2
+
+    third = executor.map(helper, items)
+    return first, second, third

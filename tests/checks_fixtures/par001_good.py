@@ -1,0 +1,27 @@
+"""PAR001 negative: initializer-fed worker state and immutable reads."""
+
+_WORKER_STATE = None
+_SCALE = 10
+
+
+def init_worker(streets):
+    global _WORKER_STATE
+    _WORKER_STATE = tuple(streets)
+
+
+def resolve(item):
+    if _WORKER_STATE is None:
+        return item
+    return _WORKER_STATE[0]
+
+
+def scale(item):
+    return item * _SCALE
+
+
+def run(executor, items, streets):
+    resolved = executor.map(
+        resolve, items, initializer=init_worker, initargs=(streets,)
+    )
+    scaled = executor.map(scale, items)
+    return resolved, scaled

@@ -1,0 +1,14 @@
+"""PAR002 positive: worker-side writes to module globals (2 findings)."""
+
+_RESULTS = []
+_SEEN = {}
+
+
+def record(item):
+    _RESULTS.append(item)
+    _SEEN[item] = True
+    return item
+
+
+def run(executor, items):
+    return executor.map(record, items)

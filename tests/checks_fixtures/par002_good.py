@@ -1,0 +1,10 @@
+"""PAR002 negative: workers return values, the parent aggregates."""
+
+
+def double(item):
+    return item * 2
+
+
+def run(executor, items):
+    doubled = executor.map(double, items)
+    return list(doubled)

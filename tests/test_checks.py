@@ -41,7 +41,21 @@ EXPECTED = {
     "exc001": ("EXC001", 2),
     "mut001": ("MUT001", 3),
     "float001": ("FLOAT001", 3),
+    "col001": ("COL001", 2),
+    "col002": ("COL002", 2),
+    "col003": ("COL003", 2),
+    "par001": ("PAR001", 3),
+    "par002": ("PAR002", 2),
+    "cfg001": ("CFG001", 3),
+    "imp001": ("IMP001", 1),
 }
+
+
+def fixture_path(stem: str, suffix: str) -> Path:
+    """A fixture target: a single file, or a directory for multi-module
+    fixtures (imp001's cycle needs two modules)."""
+    single = FIXTURES / f"{stem}_{suffix}.py"
+    return single if single.exists() else FIXTURES / f"{stem}_{suffix}"
 
 
 def check_file(path: Path):
@@ -57,13 +71,13 @@ class TestFixtureCorpus:
     @pytest.mark.parametrize("stem", sorted(EXPECTED))
     def test_positive_fixture_flagged(self, stem):
         code, count = EXPECTED[stem]
-        result = check_file(FIXTURES / f"{stem}_bad.py")
+        result = check_file(fixture_path(stem, "bad"))
         assert [f.rule for f in result.findings] == [code] * count
         assert not result.errors
 
     @pytest.mark.parametrize("stem", sorted(EXPECTED))
     def test_negative_fixture_clean(self, stem):
-        result = check_file(FIXTURES / f"{stem}_good.py")
+        result = check_file(fixture_path(stem, "good"))
         assert result.findings == []
         assert not result.errors
 
@@ -83,9 +97,11 @@ class TestSelfAnalysis:
         assert not result.errors
         # the scan really covered the project, analyzer included
         assert result.n_files > 60
-        # the two documented intentional sites (serve.py catch-all 500,
-        # cache.py corrupt-entry-as-miss) are pragma'd, not invisible
-        assert result.n_suppressed == 2
+        # the documented intentional sites (serve.py catch-all 500,
+        # perf/cache.py corrupt-entry-as-miss, checks/cache.py corrupt
+        # analysis cache, checks/cli.py crash-to-exit-2 boundary) are
+        # pragma'd, not invisible
+        assert result.n_suppressed == 4
 
     def test_checker_analyzes_itself(self):
         result = Checker().run([SRC / "checks"])
@@ -205,9 +221,10 @@ class TestOutputFormats:
         assert code == 1
         payload = json.loads(out.getvalue())
         assert set(payload) == {
-            "version", "files", "suppressed", "baselined", "errors", "findings",
+            "version", "files", "cached", "suppressed", "baselined",
+            "errors", "findings",
         }
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files"] == 1
         assert len(payload["findings"]) == 2
         for finding in payload["findings"]:
@@ -236,9 +253,14 @@ class TestOutputFormats:
         for code in rule_codes():
             assert code in text
 
-    def test_select_unknown_rule_is_an_error(self):
-        with pytest.raises(SystemExit):
-            checks_main([str(FIXTURES), "--select", "NOPE999"], out=io.StringIO())
+    def test_select_unknown_rule_is_usage_error_listing_valid_ids(self):
+        out = io.StringIO()
+        code = checks_main([str(FIXTURES), "--select", "NOPE999"], out=out)
+        assert code == 2
+        text = out.getvalue()
+        assert "NOPE999" in text
+        for valid in rule_codes():
+            assert valid in text
 
 
 class TestReproCheckSubcommand:
@@ -257,5 +279,318 @@ class TestRuleMetadata:
         for rule in all_rules():
             assert rule.code and rule.name and rule.rationale
 
-    def test_at_least_eight_rules(self):
-        assert len(all_rules()) >= 8
+    def test_at_least_fifteen_rules(self):
+        assert len(all_rules()) >= 15
+
+
+class TestExitCodes:
+    """0 clean / 1 findings / 2 usage or internal analyzer error."""
+
+    def test_clean_exits_zero(self):
+        out = io.StringIO()
+        assert checks_main([str(FIXTURES / "mut001_good.py")], out=out) == 0
+
+    def test_findings_exit_one(self):
+        out = io.StringIO()
+        assert checks_main([str(FIXTURES / "mut001_bad.py")], out=out) == 1
+
+    def test_parse_error_exits_one(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        assert checks_main([str(path)], out=io.StringIO()) == 1
+
+    def test_internal_analyzer_error_exits_two(self, monkeypatch):
+        class BoomChecker:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def run(self, paths, changed_only=None):
+                raise RuntimeError("rule exploded mid-analysis")
+
+        monkeypatch.setattr("repro.checks.cli.Checker", BoomChecker)
+        out = io.StringIO()
+        code = checks_main([str(FIXTURES / "mut001_good.py")], out=out)
+        assert code == 2
+        assert "internal analyzer error" in out.getvalue()
+
+
+class TestSarifOutput:
+    def _sarif(self, target) -> tuple[int, dict]:
+        out = io.StringIO()
+        code = checks_main([str(target), "--format", "sarif"], out=out)
+        return code, json.loads(out.getvalue())
+
+    def test_round_trip_shape(self):
+        code, payload = self._sarif(FIXTURES / "mut001_bad.py")
+        assert code == 1
+        assert payload["version"] == "2.1.0"
+        assert "$schema" in payload
+        run = payload["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(rule_codes()) <= rule_ids
+        assert "PARSE" in rule_ids
+        assert len(run["results"]) == 3
+        for entry in run["results"]:
+            assert entry["ruleId"] == "MUT001"
+            assert entry["message"]["text"]
+            region = entry["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_clean_run_has_empty_results(self):
+        code, payload = self._sarif(FIXTURES / "mut001_good.py")
+        assert code == 0
+        assert payload["runs"][0]["results"] == []
+
+    def test_parse_errors_surface_as_parse_results(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        code, payload = self._sarif(path)
+        assert code == 1
+        results = payload["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["PARSE"]
+
+
+class TestIncrementalCache:
+    def _tree(self, tmp_path: Path) -> Path:
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "clean.py").write_text("def f(a=None):\n    return a\n")
+        (tree / "dirty.py").write_text("def g(b=[]):\n    return b\n")
+        return tree
+
+    def _run(self, tree: Path, cache: Path):
+        from repro.checks import AnalysisCache, analysis_fingerprint
+
+        rules = all_rules()
+        checker = Checker(
+            rules=rules,
+            cache=AnalysisCache(cache, analysis_fingerprint(rules)),
+        )
+        return checker.run([tree])
+
+    def test_warm_run_reuses_every_summary(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = self._run(tree, cache)
+        assert cold.n_from_cache == 0
+        warm = self._run(tree, cache)
+        assert warm.n_from_cache == warm.n_files == 2
+        assert warm.findings == cold.findings
+        assert warm.n_suppressed == cold.n_suppressed
+
+    def test_editing_one_file_reanalyzes_only_it(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        self._run(tree, cache)
+        (tree / "dirty.py").write_text("def g(b=None):\n    return b\n")
+        result = self._run(tree, cache)
+        assert result.n_from_cache == 1
+        assert result.findings == []
+
+    def test_corrupt_cache_degrades_to_full_run(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = self._run(tree, cache)
+        cache.write_text("{ not json !!")
+        again = self._run(tree, cache)
+        assert again.n_from_cache == 0
+        assert again.findings == cold.findings
+
+    def test_rule_selection_changes_invalidate_the_cache(self, tmp_path):
+        from repro.checks import AnalysisCache, analysis_fingerprint
+
+        tree = self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        mut_only = [r for r in all_rules() if r.code == "MUT001"]
+        Checker(
+            rules=mut_only,
+            cache=AnalysisCache(cache, analysis_fingerprint(mut_only)),
+        ).run([tree])
+        full = self._run(tree, cache)
+        assert full.n_from_cache == 0  # different fingerprint, no reuse
+
+    def test_cli_cache_flag(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        argv = [str(tree), "--cache", str(cache), "--format", "json"]
+        first = io.StringIO()
+        assert checks_main(argv, out=first) == 1
+        second = io.StringIO()
+        assert checks_main(argv, out=second) == 1
+        cold, warm = json.loads(first.getvalue()), json.loads(second.getvalue())
+        assert cold["cached"] == 0
+        assert warm["cached"] == warm["files"] == 2
+        assert warm["findings"] == cold["findings"]
+
+
+class TestChangedOnly:
+    @pytest.fixture()
+    def git_tree(self, tmp_path, monkeypatch):
+        import shutil
+        import subprocess
+
+        if shutil.which("git") is None:
+            pytest.skip("git is not installed in this environment")
+        monkeypatch.chdir(tmp_path)
+
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=tmp_path, check=True,
+                capture_output=True, timeout=60,
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "checks@example.invalid")
+        git("config", "user.name", "checks")
+        (tmp_path / "stale.py").write_text("def f(a=[]):\n    return a\n")
+        (tmp_path / "edited.py").write_text("def g(b=None):\n    return b\n")
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_only_changed_files_report_per_file_findings(self, git_tree):
+        (git_tree / "edited.py").write_text("def g(b=[]):\n    return b\n")
+        (git_tree / "fresh.py").write_text("def h(c={}):\n    return c\n")
+        out = io.StringIO()
+        code = checks_main([str(git_tree), "--changed-only"], out=out)
+        assert code == 1
+        text = out.getvalue()
+        # stale.py's committed violation is filtered; the edit and the
+        # untracked file are reported
+        assert "stale.py" not in text
+        assert "edited.py" in text
+        assert "fresh.py" in text
+
+    def test_changed_only_outside_git_is_usage_error(self, tmp_path, monkeypatch):
+        import subprocess
+
+        def boom(*args, **kwargs):
+            raise subprocess.SubprocessError("not a git repository")
+
+        monkeypatch.setattr("repro.checks.cli.subprocess.run", boom)
+        out = io.StringIO()
+        code = checks_main([str(tmp_path), "--changed-only"], out=out)
+        assert code == 2
+        assert "--changed-only" in out.getvalue()
+
+
+class TestPragmaBaselineInteraction:
+    def test_fixed_baselined_finding_does_not_cover_new_same_rule(self, tmp_path):
+        path = tmp_path / "module.py"
+        baseline = tmp_path / "baseline.json"
+        path.write_text("def f(a=[]):\n    return a\n")
+        out = io.StringIO()
+        assert checks_main(
+            [str(path), "--write-baseline", str(baseline)], out=out
+        ) == 0
+        # fix f, introduce the same rule in g: the old baseline entry
+        # (keyed by message, which names the function) must not absorb it
+        path.write_text("def f(a=None):\n    return a\ndef g(b=[]):\n    return b\n")
+        result = Checker(baseline=Baseline.load(baseline)).run([path])
+        assert [f.rule for f in result.findings] == ["MUT001"]
+        assert "g()" in result.findings[0].message
+        assert result.n_baselined == 0
+
+    def test_pragma_applies_before_baseline_consumption(self, tmp_path):
+        path = tmp_path / "module.py"
+        baseline = tmp_path / "baseline.json"
+        path.write_text("def f(a=[]):\n    return a\n")
+        checks_main([str(path), "--write-baseline", str(baseline)], out=io.StringIO())
+        path.write_text(
+            "def f(a=[]):  # repro: noqa[MUT001] — fixture justification\n"
+            "    return a\n"
+        )
+        result = Checker(baseline=Baseline.load(baseline)).run([path])
+        assert result.findings == []
+        assert result.n_suppressed == 1
+        assert result.n_baselined == 0  # pragma'd finding never reaches it
+
+
+class TestProjectIndex:
+    def test_module_names_walk_packages(self, tmp_path):
+        from repro.checks import module_name_for
+
+        pkg = tmp_path / "pkg"
+        sub = pkg / "sub"
+        sub.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (sub / "__init__.py").write_text("")
+        (sub / "mod.py").write_text("")
+        assert module_name_for(sub / "mod.py") == "pkg.sub.mod"
+        assert module_name_for(sub / "__init__.py") == "pkg.sub"
+        assert module_name_for(tmp_path / "loose.py") == "loose"
+
+    def test_lineage_flows_across_modules(self, tmp_path):
+        schema = tmp_path / "schema.py"
+        schema.write_text(
+            "def build():\n"
+            '    return [AttributeSpec("eph", "numeric")]\n'
+        )
+        stage = tmp_path / "stage.py"
+        stage.write_text(
+            "def read(table):\n"
+            '    return table["eph"], table["epw"]\n'
+        )
+        result = Checker().run([tmp_path])
+        assert [f.rule for f in result.findings] == ["COL001"]
+        assert "epw" in result.findings[0].message
+        assert result.findings[0].path.endswith("stage.py")
+
+    def test_spec_ref_constant_resolves_across_modules(self, tmp_path):
+        (tmp_path / "consts.py").write_text('RESPONSE = "eph"\n')
+        (tmp_path / "schema.py").write_text(
+            "def build():\n"
+            '    return [AttributeSpec("eph", "numeric")]\n'
+        )
+        (tmp_path / "spec.py").write_text(
+            "from consts import RESPONSE\n"
+            'FILTERS = (Comparison(RESPONSE, ">", 0),)\n'
+        )
+        result = Checker().run([tmp_path])
+        assert result.findings == []
+
+    def test_import_graph_sees_relative_imports(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text("from . import b\n")
+        (pkg / "b.py").write_text("from .a import thing\n")
+        result = Checker().run([tmp_path])
+        assert [f.rule for f in result.findings] == ["IMP001"]
+        assert "pkg.a" in result.findings[0].message
+        assert "pkg.b" in result.findings[0].message
+
+
+class TestAllEntryPoint:
+    def test_all_flag_runs_sweep_then_tools(self):
+        out = io.StringIO()
+        code = checks_main([str(SRC), "--all"], out=out)
+        assert code == 0, out.getvalue()
+        text = out.getvalue()
+        assert "0 finding(s)" in text
+        assert "ruff" in text
+        assert "mypy" in text
+
+    def test_ci_script_exists_and_is_wired(self):
+        script = Path(repro.__file__).parents[2] / "scripts" / "ci_checks.sh"
+        assert script.exists()
+        text = script.read_text()
+        assert "--all" in text
+        assert "repro.checks" in text
+
+    def test_ci_script_passes_on_the_repo(self):
+        import os
+        import subprocess
+
+        script = Path(repro.__file__).parents[2] / "scripts" / "ci_checks.sh"
+        env = dict(os.environ)
+        proc = subprocess.run(
+            ["bash", str(script)],
+            cwd=script.parent.parent,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
