@@ -16,6 +16,11 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:${PYTHONPATH}}"
 
 mkdir -p .repro-cache
+
+# the shared-memory tier's own suite: codec round trip, segment
+# lifecycle (no leaks under crashes/faults), map_table semantics
+python -m pytest tests/test_shm.py -q
+
 exec python -m repro.checks src/repro tests/test_checks.py \
     --cache .repro-cache/checks.json \
     --all

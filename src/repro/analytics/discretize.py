@@ -96,8 +96,23 @@ class Discretization:
         return self.labels[-1]
 
     def apply(self, values: np.ndarray) -> list[str | None]:
-        """Class labels for an array of values."""
-        return [self.label_of(float(v)) for v in values]
+        """Class labels for an array of values.
+
+        Vectorized equivalent of ``[self.label_of(float(v)) for v in
+        values]``: a left-sided ``searchsorted`` against the interior
+        edges finds the first interval whose upper bound is ``>= value``
+        (matching :meth:`label_of`'s ``value <= upper`` scan), values
+        beyond the last interior edge — including NaN, which sorts past
+        everything — clamp to the final class, and NaN rows are then
+        overwritten with ``None``.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        interior = np.asarray(self.edges[1:-1], dtype=np.float64)
+        idx = np.minimum(
+            np.searchsorted(interior, arr, side="left"), len(self.labels) - 1
+        )
+        labels = np.array(self.labels, dtype=object)[idx]
+        return list(np.where(np.isnan(arr), None, labels))
 
     def describe(self) -> str:
         """Human-readable intervals in the paper's footnote style."""

@@ -10,9 +10,11 @@ Modules group rules by the contract they defend:
   PAR001/PAR002 (ParallelMap fork-safety), CFG001 (IndiceConfig ↔ CLI
   parity), IMP001 (import cycles);
 * :mod:`.hygiene` — EXC001 (silent broad except), MUT001 (mutable
-  defaults), FLOAT001 (float equality).
+  defaults), FLOAT001 (float equality);
+* :mod:`.resources` — PAR003 (shared-memory create without provable
+  close/unlink cleanup).
 """
 
-from . import contracts, crossmodule, determinism, hygiene
+from . import contracts, crossmodule, determinism, hygiene, resources
 
-__all__ = ["contracts", "crossmodule", "determinism", "hygiene"]
+__all__ = ["contracts", "crossmodule", "determinism", "hygiene", "resources"]

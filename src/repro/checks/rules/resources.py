@@ -1,0 +1,175 @@
+"""Resource-lifecycle rules for the shared-memory parallel tier.
+
+* **PAR003** — a ``multiprocessing.shared_memory`` segment (or a
+  ``SharedTable``) created without a matching ``close``/``unlink`` in a
+  ``finally`` block, a re-raising ``except`` handler, or a
+  context-manager ``with``.  A leaked segment survives the process on
+  Linux (``/dev/shm``), so every creation site must prove its cleanup
+  path statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..imports import ImportTable
+from ..model import Finding, Rule, SourceFile, register
+
+__all__ = ["SharedMemoryLifecycle"]
+
+_SHM_CLASS = "multiprocessing.shared_memory.SharedMemory"
+
+#: Factory attribute names that hand back an owned segment wrapper.  The
+#: import table cannot resolve relative imports (``from .shm import
+#: SharedTable``), so the wrapper is matched textually by name.
+_WRAPPER_FACTORIES = frozenset({("SharedTable", "create")})
+
+
+def _creates_segment(call: ast.Call, table: ImportTable) -> str | None:
+    """``"create"``/``"attach"`` when *call* produces a segment, else None.
+
+    ``SharedMemory(create=True, ...)`` and ``SharedTable.create(...)``
+    are creators (the caller owns the name and must ``unlink`` it);
+    ``SharedMemory(name=...)`` is an attacher (must only ``close``).
+    """
+    func = call.func
+    if table.resolve(func) == _SHM_CLASS:
+        for keyword in call.keywords:
+            if (
+                keyword.arg == "create"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return "create"
+        return "attach"
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and (func.value.id, func.attr) in _WRAPPER_FACTORIES
+    ):
+        return "create"
+    return None
+
+
+def _calls_method(nodes: list[ast.stmt], target: str, method: str) -> bool:
+    """Whether any statement calls ``<target>.<method>(...)``."""
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == method
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == target
+            ):
+                return True
+    return False
+
+
+def _reraises(nodes: list[ast.stmt]) -> bool:
+    return any(
+        isinstance(node, ast.Raise)
+        for stmt in nodes
+        for node in ast.walk(stmt)
+    )
+
+
+def _required_methods(mode: str) -> tuple[str, ...]:
+    return ("close", "unlink") if mode == "create" else ("close",)
+
+
+def _scope_guards(scope: ast.AST, name: str, mode: str) -> bool:
+    """Whether *scope* provably releases the segment bound to *name*.
+
+    Accepted shapes:
+
+    * a ``try``/``finally`` whose ``finally`` calls the required methods;
+    * an ``except`` handler that calls them and re-raises (the
+      cleanup-then-propagate factory pattern);
+    * a ``with`` statement over the bound name (the object's own
+      ``__exit__`` owns the cleanup).
+    """
+    methods = _required_methods(mode)
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Try):
+            if node.finalbody and all(
+                _calls_method(node.finalbody, name, m) for m in methods
+            ):
+                return True
+            for handler in node.handlers:
+                if _reraises(handler.body) and all(
+                    _calls_method(handler.body, name, m) for m in methods
+                ):
+                    return True
+        if isinstance(node, ast.With):
+            for item in node.items:
+                ctx = item.context_expr
+                if isinstance(ctx, ast.Name) and ctx.id == name:
+                    return True
+    return False
+
+
+@register
+class SharedMemoryLifecycle(Rule):
+    """PAR003 — shared-memory create without provable close/unlink."""
+
+    code = "PAR003"
+    name = "shm-lifecycle"
+    rationale = (
+        "a shared_memory segment outlives the process unless it is "
+        "unlinked; every creation must close/unlink in a finally, a "
+        "re-raising except, or a with-statement, or the segment leaks "
+        "into /dev/shm"
+    )
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        """Flag segment creations whose cleanup cannot be proven."""
+        table = ImportTable(file.tree)
+        parents: dict[ast.AST, ast.AST] = {
+            child: parent
+            for parent in ast.walk(file.tree)
+            for child in ast.iter_child_nodes(parent)
+        }
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = _creates_segment(node, table)
+            if mode is None:
+                continue
+            if self._is_guarded(node, mode, parents):
+                continue
+            what = (
+                "created without a matching close()+unlink()"
+                if mode == "create"
+                else "attached without a matching close()"
+            )
+            yield Finding(
+                file.display, node.lineno, node.col_offset, self.code,
+                f"shared-memory segment {what} in a finally block, a "
+                "re-raising except handler, or a with-statement; a "
+                "crashed caller would leak the segment into /dev/shm",
+            )
+
+    def _is_guarded(
+        self, call: ast.Call, mode: str, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        parent = parents.get(call)
+        # `with SharedTable.create(t) as s:` — __exit__ owns the cleanup
+        if isinstance(parent, ast.withitem):
+            return True
+        # `s = SharedTable.create(t)` — the binding's scope must release it
+        if (
+            isinstance(parent, ast.Assign)
+            and parent.value is call
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            name = parent.targets[0].id
+            scope: ast.AST | None = parent
+            while scope is not None and not isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+            ):
+                scope = parents.get(scope)
+            return scope is not None and _scope_guards(scope, name, mode)
+        return False

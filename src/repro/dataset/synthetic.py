@@ -320,8 +320,25 @@ def generate_epc_collection(config: SyntheticConfig | None = None) -> EpcCollect
     # ---- placement -----------------------------------------------------
     gaz_idx_turin, building_units = _pick_buildings(rng, street_map, n_turin)
     turin_records: list[AddressRecord] = [street_map.records[i] for i in gaz_idx_turin]
+    # transpose the record list once; each per-column comprehension below
+    # would otherwise re-walk all records for a single attribute
+    if turin_records:
+        t_street, t_house, t_zip, t_lat, t_lon, t_district, t_neigh = (
+            list(col)
+            for col in zip(
+                *(
+                    (
+                        r.street, r.house_number, r.zip_code,
+                        r.latitude, r.longitude, r.district, r.neighbourhood,
+                    )
+                    for r in turin_records
+                )
+            )
+        )
+    else:
+        t_street = t_house = t_zip = t_lat = t_lon = t_district = t_neigh = []
     turin_district_idx = np.asarray(
-        [district_of_name[r.district] for r in turin_records], dtype=np.intp
+        [district_of_name[d] for d in t_district], dtype=np.intp
     )
 
     other_city_idx = rng.integers(0, len(_OTHER_CITIES), size=n_other)
@@ -334,25 +351,23 @@ def generate_epc_collection(config: SyntheticConfig | None = None) -> EpcCollect
 
     city = ["Turin"] * n_turin + [rec[0] for rec in other_records]
     province = ["TO"] * n_turin + [rec[1] for rec in other_records]
-    district = [r.district for r in turin_records] + [None] * n_other
-    neighbourhood = [r.neighbourhood for r in turin_records] + [None] * n_other
-    address = [r.street for r in turin_records] + [
+    district = t_district + [None] * n_other
+    neighbourhood = t_neigh + [None] * n_other
+    address = t_street + [
         f"via {rec[0].lower()} centro" for rec in other_records
     ]
-    house_number = [r.house_number for r in turin_records] + [
+    house_number = t_house + [
         str(int(v)) for v in rng.integers(1, 80, size=n_other)
     ]
-    zip_code = [r.zip_code for r in turin_records] + [
+    zip_code = t_zip + [
         f"1{rng.integers(2, 6)}100" for _ in range(n_other)
     ]
 
     lat = np.array(
-        [r.latitude for r in turin_records]
-        + [rec[2][0] for rec in other_records], dtype=np.float64
+        t_lat + [rec[2][0] for rec in other_records], dtype=np.float64
     )
     lon = np.array(
-        [r.longitude for r in turin_records]
-        + [rec[2][1] for rec in other_records], dtype=np.float64
+        t_lon + [rec[2][1] for rec in other_records], dtype=np.float64
     )
     # scatter non-Turin units around their town centre (~1.5 km)
     lat[n_turin:] += rng.normal(0, 0.006, n_other)

@@ -19,6 +19,7 @@ uses, with predictable semantics, rather than a general dataframe.
 from __future__ import annotations
 
 import enum
+import operator
 from collections.abc import Iterable, Mapping, Sequence
 from typing import Any, Callable
 
@@ -118,11 +119,20 @@ class Column:
         """Boolean mask of missing entries."""
         if self.kind is ColumnKind.NUMERIC:
             return np.isnan(self.values)
-        return np.asarray([v is None for v in self.values], dtype=bool)
+        # element-wise identity against the None singleton; NumPy broadcasts
+        # this over object arrays without a per-row Python comprehension
+        return np.asarray(self.values == None, dtype=bool)  # noqa: E711
 
     def non_missing(self) -> np.ndarray:
-        """The values with missing entries removed."""
-        return self.values[~self.is_missing()]
+        """The values with missing entries removed.
+
+        When nothing is missing this returns the column's own buffer
+        (treat it as read-only); otherwise a boolean-masked copy.
+        """
+        mask = self.is_missing()
+        if not mask.any():
+            return self.values
+        return self.values[~mask]
 
     def take(self, indices: np.ndarray) -> "Column":
         """A new column with rows reordered / subset by *indices*."""
@@ -179,7 +189,24 @@ class Table:
         column order; by default the order of ``kinds`` is used.
         """
         order = list(column_order) if column_order is not None else list(kinds)
-        data = {name: [row.get(name) for row in rows] for name in order}
+        if not order:
+            return cls.from_columns({}, kinds)
+        try:
+            # fast path: one itemgetter pass per row transposes all columns
+            # at once instead of one full `row.get` scan per column
+            getter = operator.itemgetter(*order)
+            if len(order) == 1:
+                columns = ([getter(row) for row in rows],)
+            else:
+                columns = tuple(zip(*(getter(row) for row in rows)))
+                if not columns:
+                    columns = tuple([] for __ in order)
+        except KeyError:
+            # some row lacks a key: fall back to get() so it becomes missing
+            columns = tuple(
+                [row.get(name) for row in rows] for name in order
+            )
+        data = dict(zip(order, columns))
         return cls.from_columns(data, kinds)
 
     @classmethod
@@ -206,6 +233,20 @@ class Table:
 
     def __len__(self) -> int:
         return self._n_rows
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same columns in the same order, same values
+        (NaN-aware for numeric columns, via :meth:`Column.__eq__`)."""
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.column_names != other.column_names:
+            return False
+        return all(
+            self._columns[name] == other._columns[name]
+            for name in self._columns
+        )
+
+    __hash__ = None  # tables are mutable containers
 
     def __contains__(self, name: str) -> bool:
         return name in self._columns

@@ -5,7 +5,9 @@ collections, so the hot tiers get two generic accelerators:
 
 * :class:`~repro.perf.parallel.ParallelMap` — a process-pool executor with
   chunked sharding, per-worker initialized state and a serial fallback, used
-  to fan the Levenshtein-heavy address resolution out across cores;
+  to fan the Levenshtein-heavy address resolution out across cores; its
+  ``map_table`` path ships whole tables through one columnar shared-memory
+  block (:mod:`repro.perf.shm`) instead of pickled row chunks;
 * :class:`~repro.perf.cache.StageCache` — a content-hash memo for whole
   pipeline stages, keyed on (table fingerprint, config fingerprint), so
   repeated dashboard builds and the navigable drill-down never re-run
@@ -22,10 +24,15 @@ from .cache import (
     fingerprint_value,
 )
 from .parallel import ParallelMap
+from .shm import ColumnSpec, SharedTable, TableSlice, attach_slice
 
 __all__ = [
+    "ColumnSpec",
     "ParallelMap",
+    "SharedTable",
     "StageCache",
+    "TableSlice",
+    "attach_slice",
     "fingerprint_config",
     "fingerprint_table",
     "fingerprint_value",

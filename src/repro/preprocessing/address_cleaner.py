@@ -214,9 +214,11 @@ class AddressCleaner:
         """
         distinct = list(dict.fromkeys(a for a in address if a is not None))
         if self.executor.should_parallelize(len(distinct)):
-            resolutions = self.executor.map(
-                _resolve_one_worker,
-                distinct,
+            # ship the distinct addresses as one shared-memory text column;
+            # workers receive slice descriptors, not pickled string lists
+            resolutions = self.executor.map_table(
+                _resolve_chunk_worker,
+                Table([Column.text("address", distinct)]),
                 initializer=_init_resolver_worker,
                 initargs=(self._streets, self.config.phi),
             )
@@ -232,11 +234,21 @@ class AddressCleaner:
         repaired ZIP, house number and coordinates.  Unresolved rows are
         kept as-is — downstream queries can exclude them via the audit.
 
-        Street resolution for the distinct addresses runs up-front (in
-        parallel when the cleaner's executor allows it); the row loop then
-        only applies resolutions and the strictly sequential pieces —
-        geocoder fallback (quota accounting must stay ordered) and field
-        repair — so parallel output is row-for-row identical to serial.
+        The pass runs in three phases so the parallel output is
+        row-for-row identical to serial:
+
+        1. **batch pre-pass** — every distinct raw address is resolved
+           up-front (sharded through shared memory when the executor
+           allows it) and the per-row street/status/similarity arrays are
+           filled from that cache;
+        2. **sequential geocoder fallback** — still-unresolved rows visit
+           the metered geocoder in ascending row order, because quota and
+           circuit-breaker accounting must see the same arrival sequence
+           regardless of how phase 1 was scheduled;
+        3. **grouped repair** — rows are repaired against per-street
+           gazetteer caches (candidate records, canonical house numbers)
+           so the civic lookup costs one normalization per distinct value
+           instead of one per row-candidate pair.
         """
         cfg = self.config
         n = table.n_rows
@@ -258,14 +270,20 @@ class AddressCleaner:
         resolve_cache = self._resolve_distinct(address)
         parallel_fell_back = self.executor.fallbacks > fallbacks_before
 
+        # -- phase 1: apply the cached resolutions to every row ------------
+        streets: list[str | None] = [None] * n
+        statuses: list[MatchStatus] = [MatchStatus.SKIPPED] * n
+        sims: list[float] = [0.0] * n
         for i in range(n):
             raw = address[i]
-            if raw is None:
-                street, status, sim = self.resolve_street(raw)
-            else:
-                street, status, sim = resolve_cache[raw]
+            if raw is not None:
+                streets[i], statuses[i], sims[i] = resolve_cache[raw]
 
-            if status is MatchStatus.UNRESOLVED and cfg.use_geocoder and self._geocoder:
+        # -- phase 2: sequential geocoder fallback -------------------------
+        if cfg.use_geocoder and self._geocoder:
+            for i in range(n):
+                if statuses[i] is not MatchStatus.UNRESOLVED:
+                    continue
                 # Resilient fallback: the metered service is retried with
                 # backoff on transient failures; repeated failures open the
                 # circuit and later rows degrade to Levenshtein-only (the
@@ -279,7 +297,9 @@ class AddressCleaner:
                 else:
                     try:
                         response = retry_with_backoff(
-                            lambda: self._geocoder.geocode(raw, house_number[i]),
+                            lambda raw=address[i], num=house_number[i]: (
+                                self._geocoder.geocode(raw, num)
+                            ),
                             policy=self.retry,
                             retry_on=(TransientServiceError,),
                             sleep=self._sleep,
@@ -287,9 +307,9 @@ class AddressCleaner:
                         geocoder_requests += 1
                         self.breaker.record_success()
                         if response.status == GeocodeStatus.OK and response.record:
-                            street = response.record.street
-                            status = MatchStatus.GEOCODED
-                            sim = response.confidence
+                            streets[i] = response.record.street
+                            statuses[i] = MatchStatus.GEOCODED
+                            sims[i] = response.confidence
                     except TransientServiceError:
                         transient_failures += 1
                         self.breaker.record_failure()
@@ -297,23 +317,71 @@ class AddressCleaner:
                         quota_exhausted = True
                         rows_after_quota += 1
 
+        # -- phase 3: grouped repair against per-street caches -------------
+        # one canonicalization per distinct raw house number (the per-row
+        # loop previously re-normalized every candidate of every row) and
+        # one candidate-index build per distinct resolved street
+        canonical_memo: dict = {}
+
+        def canon(value: str | None) -> str | None:
+            if value not in canonical_memo:
+                canonical_memo[value] = canonical_house_number(value)
+            return canonical_memo[value]
+
+        street_cache: dict[
+            str, tuple[list[AddressRecord], dict[str, AddressRecord]]
+        ] = {}
+
+        def street_info(
+            street: str,
+        ) -> tuple[list[AddressRecord], dict[str, AddressRecord]]:
+            info = street_cache.get(street)
+            if info is None:
+                candidates = self._by_street[street]
+                num_to_first: dict[str, AddressRecord] = {}
+                for rec in candidates:
+                    num = canon(rec.house_number)
+                    if num is not None and num not in num_to_first:
+                        num_to_first[num] = rec
+                info = (candidates, num_to_first)
+                street_cache[street] = info
+            return info
+
+        for i in range(n):
+            raw = address[i]
+            street, status, sim = streets[i], statuses[i], sims[i]
             if street is None:
                 audits.append(RowAudit(i, status, sim, raw))
                 continue
 
-            record = self._record_for(street, house_number[i], float(lat[i]), float(lon[i]))
+            # civic record: by canonical number when possible, else nearest
+            # to the stored coordinates, else the street's first civic
+            # (same choice order as :meth:`_record_for`)
+            candidates, num_to_first = street_info(street)
+            number = canon(house_number[i])
+            record = num_to_first.get(number) if number is not None else None
+            if record is None:
+                if not (np.isnan(lat[i]) or np.isnan(lon[i])):
+                    row_lat, row_lon = float(lat[i]), float(lon[i])
+                    record = min(
+                        candidates,
+                        key=lambda r: equirectangular_km(
+                            row_lat, row_lon, r.latitude, r.longitude
+                        ),
+                    )
+                else:
+                    record = candidates[0]
             repaired: list[str] = []
 
             if address[i] != record.street:
                 address[i] = record.street
                 repaired.append("address")
             if cfg.repair_house_number:
-                canonical = canonical_house_number(house_number[i])
-                if canonical is None:
+                if number is None:
                     house_number[i] = record.house_number
                     repaired.append("house_number")
-                elif canonical != house_number[i]:
-                    house_number[i] = canonical
+                elif number != house_number[i]:
+                    house_number[i] = number
                     repaired.append("house_number")
             if cfg.repair_zip and zip_code[i] != record.zip_code:
                 zip_code[i] = record.zip_code
@@ -421,3 +489,16 @@ def _resolve_one_worker(raw: str) -> tuple[str | None, MatchStatus, float]:
         return None, MatchStatus.UNRESOLVED, 0.0
     matched, sim = hit
     return streets[matched], MatchStatus.MATCHED, sim
+
+
+def _resolve_chunk_worker(
+    chunk: Table,
+) -> list[tuple[str | None, MatchStatus, float]]:
+    """Resolve one shared-memory slice of distinct addresses.
+
+    ``chunk`` is the decoded text column a worker received as a
+    :class:`~repro.perf.shm.TableSlice` descriptor; each address goes
+    through :func:`_resolve_one_worker`, so results are bit-identical to
+    the serial path.
+    """
+    return [_resolve_one_worker(raw) for raw in chunk["address"]]

@@ -104,7 +104,10 @@ def boxplot_outliers(values, whisker: float = 1.5) -> OutlierResult:
     iqr = q3 - q1
     lower = q1 - whisker * iqr
     upper = q3 + whisker * iqr
-    mask[present] = (arr[present] < lower) | (arr[present] > upper)
+    # full-array comparison (no fancy-indexed temporaries): NaN compares
+    # False on both sides, so missing rows are never flagged
+    with np.errstate(invalid="ignore"):
+        mask = (arr < lower) | (arr > upper)
     return OutlierResult(
         OutlierMethod.BOXPLOT,
         mask,
@@ -210,19 +213,22 @@ def mad_outliers(values, cutoff: float = MAD_CUTOFF) -> OutlierResult:
     median = np.median(sample)
     abs_dev = np.abs(sample - median)
     mad = np.median(abs_dev)
-    if mad > 0:
-        scores = MAD_CONSISTENCY * abs_dev / mad
-        scale_used = "mad"
-    else:
-        mean_ad = abs_dev.mean()
-        if mean_ad == 0:
-            return OutlierResult(
-                OutlierMethod.MAD, mask,
-                {"median": float(median), "mad": 0.0, "n_tested": int(present.sum())},
-            )
-        scores = abs_dev / (1.253314 * mean_ad)
-        scale_used = "mean_ad"
-    mask[present] = scores > cutoff
+    # score the full array (NaN rows score NaN, which compares False) so
+    # the mask needs no boolean scatter through `present`
+    with np.errstate(invalid="ignore"):
+        if mad > 0:
+            scores = MAD_CONSISTENCY * np.abs(arr - median) / mad
+            scale_used = "mad"
+        else:
+            mean_ad = abs_dev.mean()
+            if mean_ad == 0:
+                return OutlierResult(
+                    OutlierMethod.MAD, mask,
+                    {"median": float(median), "mad": 0.0, "n_tested": int(present.sum())},
+                )
+            scores = np.abs(arr - median) / (1.253314 * mean_ad)
+            scale_used = "mean_ad"
+        mask = scores > cutoff
     return OutlierResult(
         OutlierMethod.MAD,
         mask,

@@ -1,0 +1,17 @@
+"""PAR003 positive: shared-memory segments without cleanup (2 findings)."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload):
+    # created, written, returned — nobody ever closes or unlinks it
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return segment.name
+
+
+def read_back(name, size):
+    # attached but never closed: the mapping leaks with the caller
+    segment = shared_memory.SharedMemory(name=name)
+    data = bytes(segment.buf[:size])
+    return data

@@ -1,0 +1,35 @@
+"""PAR003 negative: every segment provably closed (and unlinked)."""
+
+from multiprocessing import shared_memory
+
+
+def publish_and_release(payload):
+    # creator: close + unlink in a finally
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        segment.buf[: len(payload)] = payload
+        return bytes(segment.buf[: len(payload)])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def build(payload):
+    # factory pattern: cleanup on failure, ownership transferred on success
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        segment.buf[: len(payload)] = payload
+        return segment
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+
+
+def read_back(name, size):
+    # attacher: only close is required (the creator owns the unlink)
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(segment.buf[:size])
+    finally:
+        segment.close()

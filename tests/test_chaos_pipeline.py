@@ -156,6 +156,25 @@ class TestChaosSmoke:
         if engine.executor.fallbacks:
             assert "parallel_fallback" in _degradation_kinds(engine)
 
+    def test_parallel_shm_output_equals_serial(self, smoke_collection):
+        # the shared-memory parallel path must be Table.__eq__-identical
+        # to the serial path, not merely fingerprint-identical
+        outputs = []
+        for jobs in (1, 2):
+            engine = Indice(smoke_collection, _chaos_config(n_jobs=jobs))
+            engine.executor.min_parallel_items = 64
+            engine.preprocess()
+            engine.analyze()
+            outputs.append(
+                (
+                    engine._require_preprocessed().table,
+                    engine._require_analyzed().table,
+                )
+            )
+        (serial_pre, serial_out), (parallel_pre, parallel_out) = outputs
+        assert serial_pre == parallel_pre
+        assert serial_out == parallel_out
+
     def test_faults_actually_fired(self, smoke_collection, tmp_path):
         # guard against the harness testing nothing: the always-on quota
         # plan must reach the geocoder site
@@ -220,6 +239,7 @@ SWEEP_PLANS = [
     "parallel.worker:crash",
     "parallel.worker:delay*2;seed=8",
     "parallel.worker:delay@0.5;seed=9",
+    "parallel.worker:crash@0.3;seed=15",
     # cache write failures (outputs never depend on the cache)
     "cache.write:io_error",
     "cache.write:corrupt",

@@ -46,6 +46,7 @@ EXPECTED = {
     "col003": ("COL003", 2),
     "par001": ("PAR001", 3),
     "par002": ("PAR002", 2),
+    "par003": ("PAR003", 2),
     "cfg001": ("CFG001", 3),
     "imp001": ("IMP001", 1),
 }
