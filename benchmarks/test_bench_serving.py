@@ -1,0 +1,205 @@
+"""A14 — production serving tier under a 200-client load.
+
+The serving tier's claim is architectural: once an analysis version is
+pre-rendered into immutable, content-addressed artifacts, request cost is
+a dict read plus a socket write — so a fixed worker pool should sustain
+hundreds of concurrent clients with flat tail latency, and a cold burst
+should cost exactly one render per artifact (single-flight coalescing).
+
+This experiment drives ``>= 200`` concurrent keep-alive clients against a
+:class:`~repro.serving.PooledHTTPServer`, mixing full GETs with
+conditional revalidations (the steady-state traffic shape strong ETags
+are for), and publishes p50/p99 latency and throughput to
+``BENCH_serving.json``.
+
+Latency/throughput gates only run on hosts with ``cpu_count() >= 4`` —
+a single-core container timeshares 200 clients against the pool and the
+numbers say nothing about the architecture.  The hardware-independent
+invariants (every response well-formed, one render per artifact, correct
+304 discipline) are asserted everywhere.
+"""
+
+import http.client
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import write_report
+
+from repro import Indice, IndiceConfig
+from repro.dataset import SyntheticConfig, generate_epc_collection
+from repro.serving import ArtifactServer, build_store
+
+BENCH_N = 2000
+CLIENTS = 200
+REQUESTS_PER_CLIENT = 10
+WORKERS = 16
+
+
+def _make_engine() -> Indice:
+    collection = generate_epc_collection(
+        SyntheticConfig(n_certificates=BENCH_N, seed=5)
+    )
+    engine = Indice(
+        collection,
+        IndiceConfig(
+            kmeans_n_init=2, k_range=(2, 5), run_multivariate_outliers=False
+        ),
+    )
+    engine.preprocess()
+    engine.analyze()
+    return engine
+
+
+class _Client(threading.Thread):
+    """One keep-alive client: full GETs, then conditional revalidations."""
+
+    def __init__(self, index, port, paths, barrier):
+        super().__init__(daemon=True)
+        self.index = index
+        self.port = port
+        self.paths = paths
+        self.barrier = barrier
+        self.latencies: list[float] = []
+        self.statuses: list[int] = []
+        self.error: Exception | None = None
+
+    def run(self):
+        etags: dict[str, str] = {}
+        try:
+            # a straggler waits for a pool slot behind every earlier
+            # keep-alive session — the gate on its patience is the wall
+            # clock below, not a per-socket timeout
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", self.port, timeout=300
+            )
+            self.barrier.wait()
+            for i in range(REQUESTS_PER_CLIENT):
+                path = self.paths[(self.index + i) % len(self.paths)]
+                headers = {"Accept-Encoding": "gzip"}
+                if path in etags:
+                    headers["If-None-Match"] = etags[path]
+                start = time.perf_counter()
+                conn.request("GET", path, headers=headers)
+                response = conn.getresponse()
+                response.read()
+                self.latencies.append(time.perf_counter() - start)
+                self.statuses.append(response.status)
+                etag = response.getheader("ETag")
+                if etag:
+                    etags[path] = etag
+            conn.close()
+        except Exception as exc:  # pragma: no cover - surfaced by the test
+            self.error = exc
+
+
+def test_a14_serving_load(benchmark):
+    cpu = os.cpu_count() or 1
+    engine = _make_engine()
+    store = build_store(engine)
+    server = ArtifactServer(store, max_inflight=256)
+
+    with server.serving(workers=WORKERS) as (httpd, __):
+        port = httpd.server_address[1]
+        paths = list(store.paths())
+
+        # cold burst first: the pool renders each artifact exactly once
+        wall_start = time.perf_counter()
+        barrier = threading.Barrier(CLIENTS)
+        clients = [
+            _Client(index, port, paths, barrier) for index in range(CLIENTS)
+        ]
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join(timeout=300)
+        wall = time.perf_counter() - wall_start
+
+        # one quick pedantic round for the pytest-benchmark ledger
+        def steady_state_sample():
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+            for path in paths:
+                conn.request("GET", path)
+                conn.getresponse().read()
+            conn.close()
+
+        benchmark.pedantic(steady_state_sample, rounds=1, iterations=1)
+
+    errors = [client.error for client in clients if client.error]
+    assert not errors, f"client failures: {errors[:3]}"
+
+    latencies = np.array(
+        [lat for client in clients for lat in client.latencies]
+    )
+    statuses = [s for client in clients for s in client.statuses]
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    assert len(statuses) == total
+
+    # every response is a cache hit or a revalidation — never an error
+    by_status = {s: statuses.count(s) for s in sorted(set(statuses))}
+    assert set(by_status) <= {200, 304}, by_status
+    assert by_status.get(304, 0) > 0, "conditional traffic never revalidated"
+
+    # coalescing under the cold burst: one render per artifact, period
+    renders = {path: store.render_count(path) for path in paths}
+    assert all(count == 1 for count in renders.values()), renders
+    assert store.render_attempts == len(paths)
+    assert server.stats["shed"] == 0  # max_inflight=256 never saturated
+
+    p50_ms = float(np.percentile(latencies, 50) * 1000)
+    p99_ms = float(np.percentile(latencies, 99) * 1000)
+    req_per_s = total / wall
+
+    latency_gates = cpu >= 4
+    if latency_gates:
+        # generous SLOs: the point is flat tails, not absolute speed
+        assert p50_ms < 250, f"p50 {p50_ms:.1f} ms"
+        assert p99_ms < 2000, f"p99 {p99_ms:.1f} ms"
+        assert req_per_s > 100, f"{req_per_s:.0f} req/s"
+
+    payload = {
+        "experiment": "A14_serving",
+        "certificates": BENCH_N,
+        "cpu_count": cpu,
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "total_requests": total,
+        "workers": WORKERS,
+        "max_inflight": server.max_inflight,
+        "latency_gates_evaluated": latency_gates,
+        "p50_ms": round(p50_ms, 2),
+        "p99_ms": round(p99_ms, 2),
+        "requests_per_second": round(req_per_s, 1),
+        "wall_seconds": round(wall, 3),
+        "responses_by_status": {str(k): v for k, v in by_status.items()},
+        "renders_by_path": renders,
+        "analysis_version": store.version,
+    }
+    out = Path(__file__).parent / "results" / "BENCH_serving.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    write_report(
+        "A14_serving",
+        [
+            f"A14 — serving tier load ({CLIENTS} concurrent keep-alive "
+            f"clients x {REQUESTS_PER_CLIENT} requests, {WORKERS} workers, "
+            f"cpu_count={cpu})",
+            "",
+            f"total requests   {total}",
+            f"wall clock       {wall:.2f} s",
+            f"throughput       {req_per_s:.0f} req/s",
+            f"latency p50      {p50_ms:.1f} ms",
+            f"latency p99      {p99_ms:.1f} ms",
+            f"status mix       {by_status}",
+            f"renders          {sum(renders.values())} "
+            f"({len(paths)} artifacts, single-flight coalesced)",
+            ""
+            if latency_gates
+            else "note: cpu_count < 4, latency gates not evaluated on this "
+            "host (200 timeshared clients say nothing about the pool).",
+        ],
+    )

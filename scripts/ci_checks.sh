@@ -21,6 +21,11 @@ mkdir -p .repro-cache
 # lifecycle (no leaks under crashes/faults), map_table semantics
 python -m pytest tests/test_shm.py -q
 
+# the serving tier's concurrency harness: coalescing, 304s, shedding,
+# graceful reload — real sockets, so it carries a wall-clock budget (a
+# wedged lock or leaked slot shows up as a hang, not a failure)
+timeout 180 python -m pytest tests/test_serving_concurrency.py -q
+
 exec python -m repro.checks src/repro tests/test_checks.py \
     --cache .repro-cache/checks.json \
     --all

@@ -1,4 +1,4 @@
-"""Resource-lifecycle rules for the shared-memory parallel tier.
+"""Resource-lifecycle rules: shared memory and concurrency primitives.
 
 * **PAR003** — a ``multiprocessing.shared_memory`` segment (or a
   ``SharedTable``) created without a matching ``close``/``unlink`` in a
@@ -6,6 +6,13 @@
   context-manager ``with``.  A leaked segment survives the process on
   Linux (``/dev/shm``), so every creation site must prove its cleanup
   path statically.
+* **LOCK001** — an explicit ``.acquire(...)`` on a lock / semaphore with
+  no matching ``.release()`` in a ``finally`` block (or re-raising
+  ``except``, or ``with`` over the same primitive) in the same scope.
+  The serving tier's single-flight and admission-control contract says a
+  failed request must never wedge the primitive it holds; an acquire
+  whose release can be skipped by an exception deadlocks every later
+  contender.
 """
 
 from __future__ import annotations
@@ -16,7 +23,17 @@ from typing import Iterator
 from ..imports import ImportTable
 from ..model import Finding, Rule, SourceFile, register
 
-__all__ = ["SharedMemoryLifecycle"]
+__all__ = ["LockLifecycle", "SharedMemoryLifecycle"]
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
 
 _SHM_CLASS = "multiprocessing.shared_memory.SharedMemory"
 
@@ -53,15 +70,18 @@ def _creates_segment(call: ast.Call, table: ImportTable) -> str | None:
 
 
 def _calls_method(nodes: list[ast.stmt], target: str, method: str) -> bool:
-    """Whether any statement calls ``<target>.<method>(...)``."""
+    """Whether any statement calls ``<target>.<method>(...)``.
+
+    *target* may be dotted (``self._slots``), matching the same
+    Name/Attribute chain at the call site.
+    """
     for stmt in nodes:
         for node in ast.walk(stmt):
             if (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
                 and node.func.attr == method
-                and isinstance(node.func.value, ast.Name)
-                and node.func.value.id == target
+                and _dotted_name(node.func.value) == target
             ):
                 return True
     return False
@@ -104,8 +124,7 @@ def _scope_guards(scope: ast.AST, name: str, mode: str) -> bool:
                     return True
         if isinstance(node, ast.With):
             for item in node.items:
-                ctx = item.context_expr
-                if isinstance(ctx, ast.Name) and ctx.id == name:
+                if _dotted_name(item.context_expr) == name:
                     return True
     return False
 
@@ -173,3 +192,74 @@ class SharedMemoryLifecycle(Rule):
                 scope = parents.get(scope)
             return scope is not None and _scope_guards(scope, name, mode)
         return False
+
+
+def _lock_released(scope: ast.AST, receiver: str) -> bool:
+    """Whether *scope* provably releases the primitive named *receiver*.
+
+    Accepted shapes mirror :func:`_scope_guards`: a ``finally`` calling
+    ``<receiver>.release()``, an ``except`` handler that releases and
+    re-raises, or a ``with`` statement over the same primitive (its
+    ``__exit__`` owns the release).
+    """
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Try):
+            if node.finalbody and _calls_method(
+                node.finalbody, receiver, "release"
+            ):
+                return True
+            for handler in node.handlers:
+                if _reraises(handler.body) and _calls_method(
+                    handler.body, receiver, "release"
+                ):
+                    return True
+        if isinstance(node, ast.With):
+            for item in node.items:
+                if _dotted_name(item.context_expr) == receiver:
+                    return True
+    return False
+
+
+@register
+class LockLifecycle(Rule):
+    """LOCK001 — lock/semaphore acquire without a provable release."""
+
+    code = "LOCK001"
+    name = "lock-lifecycle"
+    rationale = (
+        "an acquire() whose release() an exception can skip wedges the "
+        "lock or semaphore for every later contender; releases must live "
+        "in a finally (or re-raising except), or the primitive must be "
+        "held via a with-statement"
+    )
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        """Flag ``.acquire(...)`` calls with no provable release path."""
+        parents: dict[ast.AST, ast.AST] = {
+            child: parent
+            for parent in ast.walk(file.tree)
+            for child in ast.iter_child_nodes(parent)
+        }
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr != "acquire":
+                continue
+            receiver = _dotted_name(func.value)
+            if receiver is None:
+                continue
+            scope: ast.AST | None = node
+            while scope is not None and not isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+            ):
+                scope = parents.get(scope)
+            if scope is not None and _lock_released(scope, receiver):
+                continue
+            yield Finding(
+                file.display, node.lineno, node.col_offset, self.code,
+                f"{receiver}.acquire() has no {receiver}.release() in a "
+                "finally block, re-raising except handler, or with-"
+                "statement in this scope; an exception here wedges the "
+                "primitive for every later contender",
+            )

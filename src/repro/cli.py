@@ -75,6 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=2322)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8350)
+    serve.add_argument(
+        "--workers", type=int, default=8, metavar="N",
+        help="handler threads in the serving pool (default: 8)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="concurrent requests admitted before load shedding kicks in "
+             "(excess arrivals get 503 + Retry-After; default: 64)",
+    )
+    serve.add_argument(
+        "--no-prerender", action="store_true",
+        help="render artifacts lazily on first hit (coalesced) instead of "
+             "all at startup",
+    )
     _add_perf_arguments(serve)
 
     check = sub.add_parser(
@@ -193,7 +207,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import DashboardServer
+    from .serving import ArtifactServer, build_store
 
     collection = _make_collection(args.certificates, args.seed, dirty=True)
     engine = Indice(
@@ -202,7 +216,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     engine.preprocess()
     engine.analyze()
-    DashboardServer(engine).serve(args.host, args.port)
+    store = build_store(engine)
+    if not args.no_prerender:
+        n_artifacts = store.prerender()
+        print(f"pre-rendered {n_artifacts} artifacts "
+              f"(analysis version {store.version})")
+    server = ArtifactServer(store, max_inflight=args.max_inflight)
+    server.serve(args.host, args.port, workers=args.workers)
     return 0
 
 

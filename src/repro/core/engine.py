@@ -740,6 +740,26 @@ class Indice:
             out = out.with_column(Column(name, column.kind, values))
         return out.select(table.column_names)
 
+    def analysis_version(self) -> str:
+        """Content-addressed version of the current analyzed outcome.
+
+        The serving tier keys its immutable artifact store on this: the
+        same (analyzed table, analytics config) always yields the same
+        version, so pre-rendered artifacts can be reused across restarts,
+        while any change that could alter a dashboard re-keys the store —
+        which is what makes a graceful reload safe to skip when nothing
+        actually changed.  Raises like :meth:`_require_analyzed` when the
+        session has not been analyzed yet.
+        """
+        outcome = self._require_analyzed()
+        return fingerprint_value(
+            {
+                "table": fingerprint_table(outcome.table),
+                "analytics_config": self._config_fingerprint(_ANALYZE_FIELDS),
+                "n_rules": len(outcome.rules),
+            }
+        )[:16]
+
     def _require_preprocessed(self) -> PreprocessingOutcome:
         if self._preprocessed is None:
             raise RuntimeError("call preprocess() first")

@@ -31,6 +31,7 @@ from .plan import (
     GEOCODER_REQUEST,
     KNOWN_SITES,
     PARALLEL_WORKER,
+    SERVE_REQUEST,
     FaultInjector,
     FaultKind,
     FaultPlan,
@@ -57,6 +58,7 @@ __all__ = [
     "GEOCODER_REQUEST",
     "KNOWN_SITES",
     "PARALLEL_WORKER",
+    "SERVE_REQUEST",
     "CircuitBreaker",
     "Deadline",
     "DeadlineExceeded",

@@ -46,6 +46,7 @@ __all__ = [
     "PARALLEL_WORKER",
     "DATASET_READ",
     "DATASET_WRITE",
+    "SERVE_REQUEST",
 ]
 
 # -- the named fault sites threaded through the pipeline ----------------------
@@ -56,6 +57,7 @@ CACHE_WRITE = "cache.write"
 PARALLEL_WORKER = "parallel.worker"
 DATASET_READ = "dataset.read"
 DATASET_WRITE = "dataset.write"
+SERVE_REQUEST = "serve.request"
 
 #: Every site with an injection hook, for validation and ``--help`` text.
 KNOWN_SITES = (
@@ -65,6 +67,7 @@ KNOWN_SITES = (
     PARALLEL_WORKER,
     DATASET_READ,
     DATASET_WRITE,
+    SERVE_REQUEST,
 )
 
 

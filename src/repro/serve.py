@@ -19,18 +19,32 @@ unknown stakeholder, malformed path, a request arriving before the
 analysis has run, an internal rendering error — maps to a well-formed
 HTML error page with the right status code.  A public endpoint must not
 serve tracebacks.
+
+The production serving tier (:mod:`repro.serving`) builds on the pieces
+exported here: :func:`normalize_path` is the one hostile-path policy both
+servers share, the ``render_*`` functions are the artifact renderers the
+store pre-computes, and :func:`write_payload` is the disconnect-safe
+socket write used by every handler.
 """
 
 from __future__ import annotations
 
 from http.server import BaseHTTPRequestHandler, HTTPServer
+from urllib.parse import unquote
 from xml.sax.saxutils import escape
 
 from .core.engine import Indice
 from .core.report import generate_report
 from .query.stakeholders import Stakeholder
 
-__all__ = ["DashboardServer"]
+__all__ = [
+    "DashboardServer",
+    "normalize_path",
+    "render_dashboard",
+    "render_index",
+    "render_report",
+    "write_payload",
+]
 
 _HTML = "text/html; charset=utf-8"
 
@@ -63,6 +77,84 @@ def _error_page(status: int, title: str, message: str) -> tuple[int, str, str]:
     )
 
 
+def normalize_path(raw_path: str) -> str | None:
+    """The request path with query/fragment stripped, or None if hostile.
+
+    The one path policy shared by every INDICE server:
+
+    * the query string and fragment never participate in routing;
+    * the path must be absolute and free of backslashes, raw control
+      characters and raw angle brackets;
+    * traversal sequences (``..``) and control characters are rejected
+      whether they arrive raw or percent-encoded (``%2e%2e``, ``%00``);
+      other escapes are kept literal — there is no filesystem behind the
+      routes, and reflected text is always HTML-escaped;
+    * trailing slashes are normalized away (``/report/`` == ``/report``).
+    """
+    path = raw_path.split("?", 1)[0].split("#", 1)[0]
+    if not path.startswith("/") or "\\" in path:
+        return None
+    if any(ord(c) < 0x20 or c in "<>" for c in path):
+        return None
+    decoded = unquote(path)
+    if ".." in decoded or any(ord(c) < 0x20 for c in decoded):
+        return None
+    return path.rstrip("/") or "/"
+
+
+def write_payload(stream, payload: bytes) -> bool:
+    """Write *payload* to a socket stream, absorbing client disconnects.
+
+    A browser closing the tab mid-response surfaces as
+    ``BrokenPipeError`` / ``ConnectionResetError`` on the write; that is
+    the client's prerogative, not a server failure, so it must never
+    escape into ``http.server``'s handler loop.  Returns whether the
+    payload was fully written.
+    """
+    try:
+        stream.write(payload)
+        return True
+    except (BrokenPipeError, ConnectionResetError):
+        return False
+
+
+# -- artifact renderers -------------------------------------------------------
+#
+# Pure functions of an analyzed engine; both the lazy per-process server
+# below and the pre-rendering artifact store (repro.serving) call these.
+
+
+def render_index(engine: Indice) -> str:
+    """The index page linking every stakeholder dashboard."""
+    links = "".join(
+        f'<li><a href="/dashboard/{s.value}">'
+        f"{escape(s.value.replace('_', ' ').title())} dashboard</a></li>"
+        for s in Stakeholder
+    )
+    return _INDEX_TEMPLATE.format(
+        city=escape(engine.config.city),
+        n_rows=engine._require_analyzed().table.n_rows,
+        links=links,
+    )
+
+
+def render_dashboard(engine: Indice, stakeholder: Stakeholder) -> str:
+    """The navigable multi-zoom dashboard of one stakeholder."""
+    return engine.build_navigable_dashboard(stakeholder).to_html()
+
+
+def render_report(engine: Indice) -> str:
+    """The plain-language analysis report as a standalone page."""
+    markdown = generate_report(engine)
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>INDICE report</title></head><body>"
+        f"<pre style='font-family: sans-serif; white-space: pre-wrap; "
+        f"max-width: 80ch; margin: 40px auto;'>{escape(markdown)}</pre>"
+        "</body></html>"
+    )
+
+
 class DashboardServer:
     """Serves one :class:`~repro.core.engine.Indice` session.
 
@@ -70,6 +162,10 @@ class DashboardServer:
     ``analyze()`` has completed get a 503 page (with ``Retry-After``
     semantics in spirit), so a warming-up deployment degrades to "not
     ready" instead of crashing at construction time.
+
+    This is the single-process development server; production traffic
+    goes through :class:`repro.serving.ArtifactServer`, which serves
+    pre-rendered immutable bytes from a content-addressed store.
     """
 
     def __init__(self, engine: Indice):
@@ -97,15 +193,13 @@ class DashboardServer:
                 "the analysis session itself is unaffected",
             )
 
-    def _route(self, path: str) -> tuple[int, str, str]:
-        if not path.startswith("/") or "\\" in path or ".." in path or any(
-            ord(c) < 0x20 or c in "<>" for c in path
-        ):
+    def _route(self, raw_path: str) -> tuple[int, str, str]:
+        path = normalize_path(raw_path)
+        if path is None:
             return _error_page(
                 400, "malformed path",
                 "the request path could not be understood",
             )
-        path = path.rstrip("/") or "/"
         if self._engine._analyzed is None:
             return _error_page(
                 503, "analysis not ready",
@@ -131,55 +225,61 @@ class DashboardServer:
     # -- content (cached) -----------------------------------------------------
 
     def _index(self) -> str:
-        links = "".join(
-            f'<li><a href="/dashboard/{s.value}">'
-            f"{escape(s.value.replace('_', ' ').title())} dashboard</a></li>"
-            for s in Stakeholder
-        )
-        return _INDEX_TEMPLATE.format(
-            city=escape(self._engine.config.city),
-            n_rows=self._engine._require_analyzed().table.n_rows,
-            links=links,
-        )
+        return render_index(self._engine)
 
     def _dashboard(self, stakeholder: Stakeholder) -> str:
         key = f"dash:{stakeholder.value}"
         if key not in self._cache:
-            nav = self._engine.build_navigable_dashboard(stakeholder)
-            self._cache[key] = nav.to_html()
+            self._cache[key] = render_dashboard(self._engine, stakeholder)
         return self._cache[key]
 
     def _report(self) -> str:
         if "report" not in self._cache:
-            markdown = generate_report(self._engine)
-            self._cache["report"] = (
-                "<!DOCTYPE html><html><head><meta charset='utf-8'>"
-                "<title>INDICE report</title></head><body>"
-                f"<pre style='font-family: sans-serif; white-space: pre-wrap; "
-                f"max-width: 80ch; margin: 40px auto;'>{escape(markdown)}</pre>"
-                "</body></html>"
-            )
+            self._cache["report"] = render_report(self._engine)
         return self._cache["report"]
 
     # -- socket layer -----------------------------------------------------------
 
-    def serve(self, host: str = "127.0.0.1", port: int = 8350) -> None:
-        """Serve forever (Ctrl-C to stop)."""
+    def handler_class(self) -> type[BaseHTTPRequestHandler]:
+        """The request-handler class bound to this server.
+
+        Exposed separately from :meth:`serve` so tests (and embedders)
+        can mount the handler on their own ``HTTPServer`` — an ephemeral
+        port, a shared socket — without reimplementing the GET/HEAD
+        plumbing.
+        """
         server = self
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self):  # noqa: N802 (http.server API)
+                self._respond(include_body=True)
+
+            def do_HEAD(self):  # noqa: N802 (http.server API)
+                # same status line and headers as the GET, body withheld
+                self._respond(include_body=False)
+
+            def _respond(self, include_body: bool) -> None:
                 status, content_type, body = server.route(self.path)
                 payload = body.encode("utf-8")
-                self.send_response(status)
-                self.send_header("Content-Type", content_type)
-                self.send_header("Content-Length", str(len(payload)))
-                self.end_headers()
-                self.wfile.write(payload)
+                try:
+                    self.send_response(status)
+                    self.send_header("Content-Type", content_type)
+                    self.send_header("Content-Length", str(len(payload)))
+                    self.end_headers()
+                except (BrokenPipeError, ConnectionResetError):
+                    # client went away while we wrote the head
+                    self.close_connection = True
+                    return
+                if include_body and not write_payload(self.wfile, payload):
+                    self.close_connection = True
 
             def log_message(self, fmt, *args):
                 print(f"[indice] {self.address_string()} {fmt % args}")
 
-        with HTTPServer((host, port), Handler) as httpd:
+        return Handler
+
+    def serve(self, host: str = "127.0.0.1", port: int = 8350) -> None:
+        """Serve forever (Ctrl-C to stop)."""
+        with HTTPServer((host, port), self.handler_class()) as httpd:
             print(f"INDICE dashboards at http://{host}:{port}/ (Ctrl-C to stop)")
             httpd.serve_forever()

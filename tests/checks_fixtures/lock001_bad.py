@@ -1,0 +1,26 @@
+"""LOCK001 positive: acquires an exception can leave held (2 findings)."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+class Gate:
+    def __init__(self):
+        self._slots = threading.BoundedSemaphore(4)
+
+    def admit(self, work):
+        # conditional acquire, release on the happy path only: a raising
+        # work() leaves the slot consumed forever
+        if not self._slots.acquire(timeout=0.1):
+            return None
+        result = work()
+        self._slots.release()
+        return result
+
+
+def update(state, key, value):
+    # release is plain code after the write — an exception skips it
+    _lock.acquire()
+    state[key] = value
+    _lock.release()

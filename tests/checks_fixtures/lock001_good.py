@@ -1,0 +1,34 @@
+"""LOCK001 negative: every acquire has a provable release path."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+class Gate:
+    def __init__(self):
+        self._slots = threading.BoundedSemaphore(4)
+
+    def admit(self, work):
+        # conditional acquire, then try/finally owns the release
+        if not self._slots.acquire(timeout=0.1):
+            return None
+        try:
+            return work()
+        finally:
+            self._slots.release()
+
+    def admit_or_raise(self, work):
+        # factory pattern: release on failure, ownership kept on success
+        self._slots.acquire()
+        try:
+            return work()
+        except BaseException:
+            self._slots.release()
+            raise
+
+
+def update(state, key, value):
+    # the with-statement's __exit__ owns the release
+    with _lock:
+        state[key] = value

@@ -19,6 +19,8 @@ Every plan is a plain ``--fault-plan`` spec string, so any failing sweep
 case reproduces from the CLI verbatim.
 """
 
+import threading
+
 import pytest
 
 from repro import Indice, IndiceConfig
@@ -302,3 +304,87 @@ class TestChaosSweep:
                 (_signature(engine), injector.events, _degradation_kinds(engine))
             )
         assert runs[0] == runs[1]
+
+
+# ---------------------------------------------------------------------------
+# Serving tier: injected render failures under a concurrent burst
+# ---------------------------------------------------------------------------
+
+
+class TestServingChaos:
+    """Chaos at the ``serve.request`` site.
+
+    The serving twin of the pipeline invariant: a failing render costs
+    exactly the requests whose attempt failed (a per-request 500 page,
+    never a traceback), it never wedges the single-flight lock, and the
+    next attempt recovers.  The plan is a plain spec string, so the same
+    failure reproduces from the CLI via
+    ``repro serve --fault-plan 'serve.request:transient*3;seed=5'``.
+    """
+
+    BURST = 12
+    SPEC = "serve.request:transient*3;seed=5"
+
+    @pytest.fixture(scope="class")
+    def serve_engine(self, smoke_collection):
+        engine = Indice(smoke_collection, _chaos_config())
+        engine.preprocess()
+        engine.analyze()
+        return engine
+
+    def test_render_faults_give_500_pages_and_recover(self, serve_engine):
+        from repro.serving import ArtifactServer, build_store
+
+        injector = FaultInjector(FaultPlan.parse(self.SPEC))
+        store = build_store(serve_engine, injector=injector)
+        server = ArtifactServer(store)
+        path = "/dashboard/citizen"
+
+        barrier = threading.Barrier(self.BURST)
+        results, results_lock = [], threading.Lock()
+
+        def hit():
+            barrier.wait()
+            response = server.respond("GET", path)
+            with results_lock:
+                results.append(response)
+
+        threads = [threading.Thread(target=hit) for __ in range(self.BURST)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert len(results) == self.BURST
+
+        # the single-flight lock serializes render attempts, so the plan
+        # is deterministic even under a concurrent burst: attempts 1-3
+        # fail (one 500 each), attempt 4 publishes, the rest coalesce
+        statuses = sorted(response.status for response in results)
+        assert statuses == [200] * (self.BURST - 3) + [500] * 3
+        for response in results:
+            if response.status == 500:
+                body = response.body.decode("utf-8")
+                assert body.startswith("<!DOCTYPE html>")
+                assert "Traceback" not in body
+        assert injector.injections("serve.request") == 3
+        assert server.stats["errors"] == 3
+        # exactly one successful render despite the burst and the faults
+        assert store.render_count(path) == 1
+        assert store.render_attempts == 4
+
+    def test_no_wedged_lock_after_faults(self, serve_engine):
+        from repro.serving import ArtifactServer, build_store
+
+        injector = FaultInjector(FaultPlan.parse(self.SPEC))
+        store = build_store(serve_engine, injector=injector)
+        server = ArtifactServer(store)
+        # serially burn the three injected failures on one path
+        failures = [
+            server.respond("GET", "/report").status for __ in range(3)
+        ]
+        assert failures == [500, 500, 500]
+        # every route now serves cleanly: nothing is wedged, nothing cached
+        # a failure by mistake
+        for path in store.paths():
+            assert server.respond("GET", path).status == 200
+        assert server.inflight == 0

@@ -4,7 +4,7 @@ import pytest
 
 from repro import Indice, IndiceConfig, Stakeholder
 from repro.dataset import SyntheticConfig, generate_epc_collection
-from repro.serve import DashboardServer
+from repro.serve import DashboardServer, write_payload
 
 
 @pytest.fixture(scope="module")
@@ -118,6 +118,47 @@ class TestErrorPages:
         assert "<img" not in body
 
 
+class TestHostilePathMatrix:
+    """The one path policy, pinned case by case.
+
+    Queries and fragments never route; traversal and control characters
+    are rejected raw *or* percent-encoded; everything else percent-encoded
+    stays literal (there is no filesystem behind the routes).
+    """
+
+    MATRIX = [
+        # query strings and fragments are stripped before routing
+        ("/dashboard/citizen?x=1", 200),
+        ("/report?format=html&verbose=1", 200),
+        ("/?utm_source=newsletter", 200),
+        ("/report#section-2", 200),
+        # traversal: raw, percent-encoded, mixed case, mixed encoding
+        ("/..", 400),
+        ("/%2e%2e/", 400),
+        ("/%2E%2E/secret", 400),
+        ("/%2e%2e%2fsecret", 400),
+        ("/dashboard/..%2fsecret", 400),
+        ("/dashboard/%2e%2e", 400),
+        # control characters, raw and encoded
+        ("/dashboard/citizen%00", 400),
+        ("/report%0d%0aSet-Cookie:x", 400),
+        # slashes normalize but never collapse into other routes
+        ("//", 200),
+        ("/dashboard/citizen//", 200),
+        ("/dashboard//citizen", 404),
+        ("/dashboard/citizen/extra", 404),
+        # benign escapes stay literal: no such stakeholder, plain 404
+        ("/dashboard/citi%7Azen", 404),
+    ]
+
+    @pytest.mark.parametrize("path,expected", MATRIX, ids=[p for p, __ in MATRIX])
+    def test_status(self, server, path, expected):
+        status, content_type, body = server.route(path)
+        assert status == expected
+        assert "text/html" in content_type
+        assert "Traceback" not in body
+
+
 class TestEndToEndSocket:
     def test_real_http_roundtrip(self, server):
         """One real request through http.server to cover the socket layer."""
@@ -148,3 +189,98 @@ class TestEndToEndSocket:
                 assert b"INDICE" in response.read()
         finally:
             httpd.shutdown()
+
+
+@pytest.fixture()
+def live_server(server):
+    """The real handler (``DashboardServer.handler_class``) on a socket."""
+    import threading
+    from http.server import HTTPServer
+
+    handler = server.handler_class()
+    handler.log_message = lambda *args, **kwargs: None
+    httpd = HTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd.server_address[1]
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5.0)
+
+
+class TestSocketRegressions:
+    """HEAD support and client-disconnect tolerance of the real handler."""
+
+    @staticmethod
+    def _request(port, method, path):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request(method, path)
+            response = conn.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            conn.close()
+
+    def test_head_matches_get_without_body(self, live_server):
+        get_status, get_headers, get_body = self._request(
+            live_server, "GET", "/report"
+        )
+        head_status, head_headers, head_body = self._request(
+            live_server, "HEAD", "/report"
+        )
+        assert get_status == head_status == 200
+        assert head_body == b""  # HEAD carries headers only
+        # ...but advertises the same length the GET actually delivered
+        assert head_headers["Content-Length"] == str(len(get_body))
+        assert head_headers["Content-Type"] == get_headers["Content-Type"]
+
+    def test_head_error_page_has_no_body(self, live_server):
+        status, headers, body = self._request(live_server, "HEAD", "/nope")
+        assert status == 404
+        assert body == b""
+        assert int(headers["Content-Length"]) > 0
+
+    def test_abrupt_disconnect_does_not_wedge_server(self, live_server):
+        # a client that sends a request and slams the connection shut must
+        # not take the handler down: the next request is served normally
+        import socket
+
+        for __ in range(3):
+            client = socket.create_connection(("127.0.0.1", live_server), timeout=5)
+            client.sendall(b"GET /dashboard/citizen HTTP/1.1\r\n"
+                           b"Host: localhost\r\n\r\n")
+            client.close()  # gone before the (large) body is written
+        status, __, body = self._request(live_server, "GET", "/")
+        assert status == 200
+        assert b"INDICE" in body
+
+
+class TestWritePayload:
+    """The disconnect-absorbing socket write used by every handler."""
+
+    def test_normal_write_succeeds(self):
+        import io
+
+        stream = io.BytesIO()
+        assert write_payload(stream, b"payload") is True
+        assert stream.getvalue() == b"payload"
+
+    @pytest.mark.parametrize("exc", [BrokenPipeError, ConnectionResetError])
+    def test_client_disconnect_absorbed(self, exc):
+        class DeadSocket:
+            def write(self, payload):
+                raise exc("client went away")
+
+        assert write_payload(DeadSocket(), b"payload") is False
+
+    def test_other_errors_propagate(self):
+        class BadStream:
+            def write(self, payload):
+                raise OSError("disk full")
+
+        with pytest.raises(OSError):
+            write_payload(BadStream(), b"payload")
