@@ -23,8 +23,20 @@ python -m pytest tests/test_shm.py -q
 
 # the serving tier's concurrency harness: coalescing, 304s, shedding,
 # graceful reload — real sockets, so it carries a wall-clock budget (a
-# wedged lock or leaked slot shows up as a hang, not a failure)
+# wedged lock or leaked slot shows up as a hang, not a failure); the
+# REPRO_SANITIZE_LOCKS run arms the lockdep sanitizer so every lock in
+# the store/server/cache path is order-checked while the suite hammers it
 timeout 180 python -m pytest tests/test_serving_concurrency.py -q
+REPRO_SANITIZE_LOCKS=1 timeout 120 python -m pytest \
+    tests/test_lockdep.py \
+    tests/test_serving_concurrency.py::TestLockdepSanitized -q
+
+# the concurrency contract sweep must come back empty: any lock-order
+# cycle, unguarded shared write, blocking call under a lock or semaphore
+# imbalance in src/ is a CI failure, not a warning
+python -m repro.checks src/repro \
+    --select LOCK002,LOCK003,LOCK004,SEM001 \
+    --cache .repro-cache/checks-concurrency.json
 
 exec python -m repro.checks src/repro tests/test_checks.py \
     --cache .repro-cache/checks.json \

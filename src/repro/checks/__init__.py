@@ -33,7 +33,25 @@ PAR001     unpicklable-or-stale-capture fork-safety: workers pickle cleanly and
 PAR002     worker-side-mutation         fork-safety: workers return, never write
 CFG001     config-cli-parity            config: fields <-> argparse destinations
 IMP001     import-cycle                 architecture: the module graph is a DAG
+LOCK001    acquire-without-release      resources: every acquire has a provable
+                                        release on all paths
+PAR003     shm-leak                     resources: shared memory is closed and
+                                        unlinked on every path
+LOCK002    lock-order-cycle             concurrency: the cross-module lock graph
+                                        is acyclic (no ABBA deadlock)
+LOCK003    inconsistent-guard           concurrency: attributes mutated under a
+                                        lock are never mutated outside it
+LOCK004    blocking-call-under-lock     concurrency: no IO/sleep/render while
+                                        holding a lock (latency convoy)
+SEM001     semaphore-imbalance          concurrency: acquire/release balance on
+                                        every early return
 =========  ===========================  =========================================
+
+The static story has a dynamic twin: :mod:`.lockdep` wraps the serving
+tier's real locks (``REPRO_SANITIZE_LOCKS=1`` or ``repro serve
+--sanitize-locks``) and raises on the first *attempted* lock-order
+inversion or fork-while-held at runtime — the observed order graph
+cross-checks what LOCK002 proved statically.
 
 Run it with ``python -m repro.checks src/repro`` (or ``repro check``);
 suppress an intentional site with ``# repro: noqa[RULE] — justification``.
@@ -44,6 +62,8 @@ from .baseline import Baseline
 from .cache import AnalysisCache, analysis_fingerprint
 from .checker import Checker, CheckResult, check_tree, collect_python_files
 from .cli import main
+from .concurrency import ConcurrencyModel, extract_concurrency
+from .lockdep import LockDep, LockOrderError, SanitizedLock
 from .model import Finding, Rule, SourceFile, all_rules, register, rule_codes
 from .pragmas import PragmaIndex, parse_pragmas
 from .project import FileSummary, ProjectIndex, extract_facts, module_name_for
@@ -54,8 +74,12 @@ __all__ = [
     "Baseline",
     "Checker",
     "CheckResult",
+    "ConcurrencyModel",
     "FileSummary",
     "Finding",
+    "LockDep",
+    "LockOrderError",
+    "SanitizedLock",
     "PragmaIndex",
     "ProjectIndex",
     "Rule",
@@ -64,6 +88,7 @@ __all__ = [
     "analysis_fingerprint",
     "check_tree",
     "collect_python_files",
+    "extract_concurrency",
     "extract_facts",
     "main",
     "module_name_for",

@@ -89,12 +89,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule table (code, name, rationale) and exit",
     )
+    parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help=(
+            "print one rule's documentation, rationale and its good/bad "
+            "fixture pair, then exit"
+        ),
+    )
     return parser
 
 
 def _print_rules(out: TextIO) -> None:
     for rule in all_rules():
         out.write(f"{rule.code}  {rule.name}\n    {rule.rationale}\n")
+
+
+def _fixture_pair(code: str) -> list[tuple[str, Path]]:
+    """``(label, path)`` fixture files of one rule, bad first.
+
+    Fixtures live in the source checkout (``tests/checks_fixtures``); an
+    installed package without tests simply has none to show.  Directory
+    fixtures (e.g. the import-cycle corpus) contribute every module.
+    """
+    root = Path(__file__).resolve().parents[3] / "tests" / "checks_fixtures"
+    if not root.is_dir():
+        return []
+    stem = code.lower()
+    pairs: list[tuple[str, Path]] = []
+    for label, suffix in (("bad", "_bad"), ("good", "_good")):
+        base = root / f"{stem}{suffix}"
+        file = base.with_suffix(".py")
+        if file.is_file():
+            pairs.append((label, file))
+        elif base.is_dir():
+            pairs.extend(
+                (label, module) for module in sorted(base.glob("*.py"))
+            )
+    return pairs
+
+
+def _explain_rule(code: str, out: TextIO) -> None:
+    """Print one rule's doc, rationale and fixture pair (or UsageError)."""
+    wanted = code.strip().upper()
+    rule = next((r for r in all_rules() if r.code == wanted), None)
+    if rule is None:
+        known = ", ".join(r.code for r in all_rules())
+        raise UsageError(f"unknown rule code: {code} (valid: {known})")
+    out.write(f"{rule.code} — {rule.name}\n")
+    doc = (type(rule).__doc__ or "").strip()
+    if doc:
+        out.write(f"\n{doc}\n")
+    out.write(f"\nRationale:\n    {rule.rationale}\n")
+    pairs = _fixture_pair(rule.code)
+    if not pairs:
+        out.write(
+            "\n(no fixture corpus found — examples ship with the source "
+            "checkout under tests/checks_fixtures)\n"
+        )
+        return
+    for label, path in pairs:
+        marker = "flagged" if label == "bad" else "clean"
+        out.write(f"\n--- {label} example ({marker}): {path.name} ---\n")
+        out.write(path.read_text(encoding="utf-8"))
 
 
 def _select_rules(spec: str) -> list:
@@ -186,6 +242,14 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
 
     if args.list_rules:
         _print_rules(out)
+        return 0
+
+    if args.explain:
+        try:
+            _explain_rule(args.explain, out)
+        except UsageError as exc:
+            out.write(f"error: {exc}\n")
+            return 2
         return 0
 
     try:

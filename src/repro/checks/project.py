@@ -28,6 +28,7 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .concurrency import extract_concurrency
 from .lineage import extract_lineage
 
 __all__ = [
@@ -39,7 +40,7 @@ __all__ = [
 ]
 
 #: Bump when the facts schema changes so cached summaries invalidate.
-FACTS_VERSION = 1
+FACTS_VERSION = 2
 
 #: Attribute methods whose first argument names a fault-injection site.
 _HOOK_METHODS = ("arrive", "fire")
@@ -287,6 +288,7 @@ def extract_facts(tree: ast.Module) -> dict:
         "argparse_dests": [],
         "args_reads": [],
         "lineage": extract_lineage(tree),
+        "concurrency": extract_concurrency(tree),
     }
 
     # -- module-exec-time imports (skip function bodies: lazy imports are a

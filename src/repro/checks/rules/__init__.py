@@ -11,10 +11,20 @@ Modules group rules by the contract they defend:
   parity), IMP001 (import cycles);
 * :mod:`.hygiene` — EXC001 (silent broad except), MUT001 (mutable
   defaults), FLOAT001 (float equality);
-* :mod:`.resources` — PAR003 (shared-memory create without provable
-  close/unlink cleanup).
+* :mod:`.resources` — LOCK001 (acquire without provable release),
+  PAR003 (shared-memory create without provable close/unlink cleanup);
+* :mod:`.concurrency` — LOCK002 (lock-order cycle), LOCK003
+  (inconsistent guard), LOCK004 (blocking call under lock), SEM001
+  (semaphore acquire/release imbalance).
 """
 
-from . import contracts, crossmodule, determinism, hygiene, resources
+from . import concurrency, contracts, crossmodule, determinism, hygiene, resources
 
-__all__ = ["contracts", "crossmodule", "determinism", "hygiene", "resources"]
+__all__ = [
+    "concurrency",
+    "contracts",
+    "crossmodule",
+    "determinism",
+    "hygiene",
+    "resources",
+]

@@ -15,6 +15,7 @@ Every command is seeded and offline; see ``python -m repro --help``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -89,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="render artifacts lazily on first hit (coalesced) instead of "
              "all at startup",
     )
+    serve.add_argument(
+        "--sanitize-locks", action="store_true",
+        help="instrument the serving locks with the lockdep sanitizer "
+             "(raises on lock-order inversion; also honored via the "
+             "REPRO_SANITIZE_LOCKS environment variable)",
+    )
     _add_perf_arguments(serve)
 
     check = sub.add_parser(
@@ -108,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--all", action="store_true",
                        help="AST sweep plus ruff/mypy (skipped when missing)")
     check.add_argument("--list-rules", action="store_true")
+    check.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print a rule's doc, rationale and its fixture good/bad pair",
+    )
     return parser
 
 
@@ -209,6 +220,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import ArtifactServer, build_store
 
+    if args.sanitize_locks:
+        # the env flag (not a parameter chain) arms the sanitizer so every
+        # lock construction site — store, server, stage cache — sees it
+        os.environ["REPRO_SANITIZE_LOCKS"] = "1"
     collection = _make_collection(args.certificates, args.seed, dirty=True)
     engine = Indice(
         collection, _apply_perf_arguments(IndiceConfig(), args),
@@ -245,6 +260,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         argv += ["--all"]
     if args.list_rules:
         argv += ["--list-rules"]
+    if args.explain:
+        argv += ["--explain", args.explain]
     return checks_main(argv)
 
 

@@ -24,11 +24,13 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from ..checks import lockdep as _lockdep
 from ..dataset.table import ColumnKind, Table
 from ..faults.plan import CACHE_READ, CACHE_WRITE, FaultInjector, FaultKind
 
@@ -138,8 +140,16 @@ class StageCache:
         self,
         directory: str | Path | None = None,
         injector: FaultInjector | None = None,
+        lockdep: "_lockdep.LockDep | None" = None,
     ):
         self._memory: dict[str, Any] = {}
+        # Guards the memory dict and the hit/miss counters now that the
+        # serving tier renders from worker threads; disk IO (and the
+        # injector) stay outside the lock so a slow or faulted read never
+        # serializes sibling stages (LOCK004 discipline).
+        self._lock = _lockdep.wrap(
+            threading.Lock(), "stagecache.memory", _lockdep.resolve(lockdep)
+        )
         self.directory = Path(directory) if directory else None
         if self.directory is not None:
             if self.directory.exists() and not self.directory.is_dir():
@@ -204,16 +214,18 @@ class StageCache:
 
     def get(self, key: str) -> tuple[bool, Any]:
         """``(found, value)`` for *key*; counts a hit or a miss."""
-        if key in self._memory:
-            self.hits += 1
-            return True, self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                self.hits += 1
+                return True, self._memory[key]
         found, value = self._disk_read(key)
-        if found:
-            self._memory[key] = value
-            self.hits += 1
-            return True, value
-        self.misses += 1
-        return False, None
+        with self._lock:
+            if found:
+                self._memory[key] = value
+                self.hits += 1
+                return True, value
+            self.misses += 1
+            return False, None
 
     def put(self, key: str, value: Any) -> None:
         """Store *value* under *key* (memory, plus disk when configured).
@@ -224,7 +236,8 @@ class StageCache:
         failures are swallowed into ``write_errors``: the entry stays
         served from memory and the stage carries on.
         """
-        self._memory[key] = value
+        with self._lock:
+            self._memory[key] = value
         if self.directory is None:
             return
         data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -253,4 +266,5 @@ class StageCache:
 
     def clear(self) -> None:
         """Drop every in-memory entry (disk entries are left alone)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()

@@ -38,6 +38,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, HTTPServer
 
+from ..checks import lockdep as _lockdep
 from ..core.engine import Indice
 from ..faults.policy import Deadline
 from ..serve import _error_page, normalize_path, write_payload
@@ -108,6 +109,10 @@ class ArtifactServer:
     shed_after_s:
         The admission :class:`Deadline` budget — how long an arrival may
         wait for a slot before it is shed.
+    lockdep:
+        Optional :class:`~repro.checks.lockdep.LockDep` sanitizer; when
+        omitted, the shared default is used if ``REPRO_SANITIZE_LOCKS``
+        is on, else the primitives stay raw (zero overhead).
     """
 
     def __init__(
@@ -116,14 +121,20 @@ class ArtifactServer:
         *,
         max_inflight: int = 64,
         shed_after_s: float = 0.05,
+        lockdep: "_lockdep.LockDep | None" = None,
     ):
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
         self._store = store
         self.max_inflight = max_inflight
         self.shed_after_s = shed_after_s
-        self._slots = threading.BoundedSemaphore(max_inflight)
-        self._stats_lock = threading.Lock()
+        dep = _lockdep.resolve(lockdep)
+        self._slots = _lockdep.wrap(
+            threading.BoundedSemaphore(max_inflight), "server.slots", dep
+        )
+        self._stats_lock = _lockdep.wrap(
+            threading.Lock(), "server.stats", dep
+        )
         self._inflight = 0
         self.stats = {
             "requests": 0,

@@ -34,6 +34,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..checks import lockdep as _lockdep
 from ..core.engine import Indice
 from ..faults.plan import SERVE_REQUEST, FaultInjector
 from ..geo import geojson
@@ -85,6 +86,10 @@ class ArtifactStore:
         Optional fault injector; each render *attempt* announces one
         arrival at the ``serve.request`` site and propagates the injected
         exception instead of rendering.
+    lockdep:
+        Optional :class:`~repro.checks.lockdep.LockDep` sanitizer; when
+        omitted, the shared default is used if ``REPRO_SANITIZE_LOCKS``
+        is on, else the locks stay raw primitives (zero overhead).
     """
 
     def __init__(
@@ -92,14 +97,16 @@ class ArtifactStore:
         version: str,
         renderers: dict[str, tuple[str, Callable[[], str | bytes]]],
         injector: FaultInjector | None = None,
+        lockdep: "_lockdep.LockDep | None" = None,
     ):
         self.version = version
         self._renderers = dict(renderers)
         self._injector = injector
+        self._lockdep = _lockdep.resolve(lockdep)
         self._artifacts: dict[str, Artifact] = {}
         self._render_counts: dict[str, int] = {}
         self._locks: dict[str, threading.Lock] = {}
-        self._meta = threading.Lock()
+        self._meta = _lockdep.wrap(threading.Lock(), "store.meta", self._lockdep)
         #: Render attempts, including ones an injected fault aborted.
         self.render_attempts = 0
 
@@ -127,7 +134,9 @@ class ArtifactStore:
         with self._meta:
             lock = self._locks.get(path)
             if lock is None:
-                lock = self._locks[path] = threading.Lock()
+                lock = self._locks[path] = _lockdep.wrap(
+                    threading.Lock(), f"store.key:{path}", self._lockdep
+                )
             return lock
 
     def get(self, path: str) -> Artifact:
@@ -154,7 +163,12 @@ class ArtifactStore:
                 self.render_attempts += 1
             if self._injector is not None:
                 self._injector.fire(SERVE_REQUEST)
-            artifact = Artifact.build(path, content_type, render())
+            # The render under the key lock IS the single-flight design:
+            # N cold hits coalesce into one render, and only same-key
+            # requests (which need this payload anyway) ever wait on it;
+            # warm hits never touch the lock.
+            payload = render()  # repro: noqa[LOCK004] — sanctioned coalescing render
+            artifact = Artifact.build(path, content_type, payload)
             with self._meta:
                 self._render_counts[path] = self._render_counts.get(path, 0) + 1
             self._artifacts[path] = artifact
@@ -198,7 +212,11 @@ def render_points_geojson(engine: Indice) -> str:
     return geojson.dumps(geojson.feature_collection(features))
 
 
-def build_store(engine: Indice, injector: FaultInjector | None = None) -> ArtifactStore:
+def build_store(
+    engine: Indice,
+    injector: FaultInjector | None = None,
+    lockdep: "_lockdep.LockDep | None" = None,
+) -> ArtifactStore:
     """The artifact store of one analyzed engine.
 
     Registers every route of the serving surface — the index, the three
@@ -226,4 +244,5 @@ def build_store(engine: Indice, injector: FaultInjector | None = None) -> Artifa
         version,
         renderers,
         injector=injector if injector is not None else engine.injector,
+        lockdep=lockdep,
     )

@@ -1,0 +1,31 @@
+"""LOCK002 positive: conflicting acquisition orders + a self-deadlock."""
+import threading
+
+head = threading.Lock()
+tail = threading.Lock()
+
+
+def push_front(queue, item):
+    with head:
+        with tail:  # order: head -> tail
+            queue.insert(0, item)
+
+
+def push_back(queue, item):
+    with tail:
+        with head:  # order: tail -> head — closes the cycle
+            queue.append(item)
+
+
+class Box:
+    def __init__(self):
+        self._guard = threading.Lock()
+        self.value = None
+
+    def _store(self, value):
+        with self._guard:  # re-acquired: _set already holds it
+            self.value = value
+
+    def _set(self, value):
+        with self._guard:
+            self._store(value)  # non-reentrant Lock self-deadlocks here

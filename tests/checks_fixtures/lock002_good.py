@@ -1,0 +1,31 @@
+"""LOCK002 negative: one global order, and an RLock where re-entry is real."""
+import threading
+
+head = threading.Lock()
+tail = threading.Lock()
+
+
+def push_front(queue, item):
+    with head:
+        with tail:  # order: head -> tail
+            queue.insert(0, item)
+
+
+def push_back(queue, item):
+    with head:  # same order on every path: acyclic
+        with tail:
+            queue.append(item)
+
+
+class Box:
+    def __init__(self):
+        self._guard = threading.RLock()  # reentrant: self-edges are legal
+        self.value = None
+
+    def _store(self, value):
+        with self._guard:
+            self.value = value
+
+    def _set(self, value):
+        with self._guard:
+            self._store(value)

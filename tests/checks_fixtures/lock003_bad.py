@@ -1,0 +1,25 @@
+"""LOCK003 positive: attributes mutated under their lock AND bare."""
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = 0
+        self.total = 0
+
+    def start(self, worker):
+        threading.Thread(target=self.add).start()
+
+    def add(self):
+        with self._lock:
+            self.pending += 1
+        self.total += 1  # bare: races with flush()'s locked write
+
+    def flush(self):
+        with self._lock:
+            self.total += self.pending
+            self.pending = 0
+
+    def reset(self):
+        self.pending = 0  # bare: races with add()/flush()

@@ -1,0 +1,21 @@
+"""LOCK004 positive: sleeping, socket IO and rendering under a lock."""
+import threading
+import time
+
+flight = threading.Lock()
+
+
+def retry_render(renderer):
+    with flight:
+        time.sleep(0.1)  # every contender sleeps behind this
+        return renderer.run()
+
+
+def broadcast(sock, payload):
+    with flight:
+        sock.sendall(payload)  # socket IO under the lock
+
+
+def coalesce(path, render_page):
+    with flight:
+        return render_page(path)  # rendering serialized on the lock

@@ -1,0 +1,30 @@
+"""LOCK004 negative: blocking work hoisted out; Condition.wait exempt."""
+import threading
+import time
+
+flight = threading.Lock()
+
+
+def retry_render(renderer):
+    time.sleep(0.1)  # blocks only the caller, not the lock queue
+    payload = renderer.run()
+    with flight:
+        return payload
+
+
+def broadcast(sock, payload):
+    with flight:
+        queued = bytes(payload)
+    sock.sendall(queued)  # IO after the region is released
+
+
+class Mailbox:
+    def __init__(self):
+        self._ready = threading.Condition()
+        self.items = []
+
+    def take(self):
+        with self._ready:
+            while not self.items:
+                self._ready.wait()  # waiting on the held primitive: protocol
+            return self.items.pop(0)

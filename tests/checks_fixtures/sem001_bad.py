@@ -1,0 +1,25 @@
+"""SEM001 positive: a leaked slot and an over-release."""
+import threading
+
+slots = threading.Semaphore(8)
+
+
+def admit(job):
+    if not slots.acquire(timeout=0.05):
+        return "shed"
+    if job.cancelled:
+        return "cancelled"  # leaked: the acquired slot is never released
+    try:
+        return job.run()
+    finally:
+        slots.release()
+
+
+def drain(job):
+    ok = slots.acquire(timeout=0.05)
+    try:
+        if not ok:
+            return "shed"
+        return job.run()
+    finally:
+        slots.release()  # over-release: runs even when acquire timed out

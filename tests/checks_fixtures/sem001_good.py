@@ -1,0 +1,26 @@
+"""SEM001 negative: every path releases exactly what it acquired."""
+import threading
+
+slots = threading.Semaphore(8)
+
+
+def admit(job):
+    if not slots.acquire(timeout=0.05):
+        return "shed"
+    try:
+        if job.cancelled:
+            return "cancelled"  # the finally still releases the slot
+        return job.run()
+    finally:
+        slots.release()
+
+
+def drain(job):
+    ok = slots.acquire(timeout=0.05)
+    try:
+        if not ok:
+            return "shed"
+        return job.run()
+    finally:
+        if ok:  # release matches the acquire outcome
+            slots.release()

@@ -388,3 +388,42 @@ class TestServingChaos:
         for path in store.paths():
             assert server.respond("GET", path).status == 200
         assert server.inflight == 0
+
+    def test_fault_burst_under_lock_sanitizer_stays_deterministic(
+        self, serve_engine
+    ):
+        # the same chaos burst, instrumented: injected render failures
+        # must neither reorder the locks nor leave one held, and the
+        # deterministic 3x500-then-coalesce outcome is unchanged
+        from repro.checks.lockdep import LockDep
+        from repro.serving import ArtifactServer, build_store
+
+        dep = LockDep("chaos")
+        injector = FaultInjector(FaultPlan.parse(self.SPEC))
+        store = build_store(serve_engine, injector=injector, lockdep=dep)
+        server = ArtifactServer(store, lockdep=dep)
+        path = "/dashboard/citizen"
+
+        barrier = threading.Barrier(self.BURST)
+        results, results_lock = [], threading.Lock()
+
+        def hit():
+            barrier.wait()
+            response = server.respond("GET", path)
+            with results_lock:
+                results.append(response)
+
+        threads = [threading.Thread(target=hit) for __ in range(self.BURST)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+
+        statuses = sorted(response.status for response in results)
+        assert statuses == [200] * (self.BURST - 3) + [500] * 3
+        assert store.render_count(path) == 1
+        # the sanitizer saw the whole burst and stayed silent — failed
+        # renders released every lock they held
+        assert dep.n_acquires > self.BURST
+        assert dep.violations == []
+        dep.assert_clean()
