@@ -22,7 +22,7 @@ import pickle
 import time
 from pathlib import Path
 
-from conftest import write_report
+from conftest import requires_cpus, write_report
 
 from repro import Indice, IndiceConfig
 from repro.dataset import (
@@ -107,7 +107,7 @@ def test_a13_parallel_shm(benchmark):
         )
 
     throughput = {j: BENCH_N / cold[j] for j in JOB_COUNTS}
-    scaling_gates = cpu >= 4
+    scaling_gates = requires_cpus(4)
     if scaling_gates:
         assert throughput[4] > throughput[2], (
             f"4-job throughput {throughput[4]:.0f} certs/s does not beat "

@@ -27,7 +27,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from conftest import write_report
+from conftest import requires_cpus, write_report
 
 from repro import Indice, IndiceConfig
 from repro.dataset import SyntheticConfig, generate_epc_collection
@@ -153,7 +153,7 @@ def test_a14_serving_load(benchmark):
     p99_ms = float(np.percentile(latencies, 99) * 1000)
     req_per_s = total / wall
 
-    latency_gates = cpu >= 4
+    latency_gates = requires_cpus(4)
     if latency_gates:
         # generous SLOs: the point is flat tails, not absolute speed
         assert p50_ms < 250, f"p50 {p50_ms:.1f} ms"

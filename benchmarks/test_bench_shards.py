@@ -1,0 +1,288 @@
+"""A16 — sharded million-certificate pipeline tier.
+
+The paper's case study is ~25k Turin certificates; the ROADMAP north
+star is a tier that serves millions.  The sharded runner's claim has
+three measurable parts:
+
+1. **Out-of-core memory ceiling** — peak RSS of the sharded run is
+   bounded by the largest shard's working set (plus the narrow merged
+   projection), not by the dataset: measured here as < 2x the RSS of
+   processing the largest shard alone, and strictly below the monolithic
+   run's RSS.
+2. **Incremental warm re-runs** — after invalidating a single shard, a
+   warm re-run recomputes that one shard and reuses everything else
+   (shard-granular cache + post-merge memo): >= 10x faster than cold.
+3. **Bit-identity** — none of that perf machinery changes a byte: at 25k
+   scale the sharded output satisfies ``Table.__eq__`` against the
+   monolithic serial pipeline over the same rows.
+
+Every pipeline run that feeds an RSS number executes in a subprocess so
+``ru_maxrss`` isolates it; results go to ``BENCH_sharded.json`` and
+``A16_sharded.txt``.  The full experiment defaults to 1M certificates
+(tens of minutes on one core) and is opt-in via ``pytest -m bench``;
+``REPRO_SHARD_BENCH_N`` scales it down for smoke runs.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from conftest import write_report
+
+from repro import Indice, IndiceConfig
+from repro.dataset import NoiseConfig, SyntheticConfig
+from repro.perf.shards import ShardPlan
+
+pytestmark = pytest.mark.bench
+
+BENCH_N = int(os.environ.get("REPRO_SHARD_BENCH_N", "1000000"))
+EQUIV_N = 25_000
+BENCH_SEED = 414
+#: High enough that the geocoder quota never binds — the documented
+#: regime in which sharded output is provably bit-identical.
+QUOTA = 10**9
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+_CHILD = r"""
+import dataclasses, json, resource, sys, time
+
+mode, n, spill_dir, seed = sys.argv[1], int(sys.argv[2]), sys.argv[3], int(sys.argv[4])
+
+from repro import Indice, IndiceConfig
+from repro.dataset import NoiseConfig, SyntheticConfig
+from repro.perf.cache import StageCache
+from repro.perf.shards import ShardPlan
+
+
+def config(**overrides):
+    base = dict(geocoder_quota=10**9, stage_cache=False)
+    base.update(overrides)
+    return IndiceConfig(**base)
+
+
+def maxrss_mb():
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+defaults = IndiceConfig()
+narrow = tuple(
+    dict.fromkeys(
+        list(defaults.features)
+        + [defaults.response, "city", "building_type", "district",
+           "certificate_id"]
+    )
+)
+plan = ShardPlan.from_generator(
+    SyntheticConfig(n_certificates=n, seed=seed), "by-district",
+    noise=NoiseConfig(seed=seed + 1), columns=narrow,
+)
+out = {"mode": mode, "n": n, "shards": len(plan.shards)}
+
+if mode == "monolithic":
+    start = time.perf_counter()
+    table = plan.merged_input_table()
+    out["generate_s"] = time.perf_counter() - start
+    collection = dataclasses.replace(plan.collection, table=table)
+    engine = Indice(collection, config())
+    start = time.perf_counter()
+    preprocessing = engine.preprocess()
+    engine.analyze()
+    out["pipeline_s"] = time.perf_counter() - start
+    out["rows_out"] = preprocessing.table.n_rows
+elif mode == "largest-shard":
+    spec = max(plan.shards, key=lambda s: s.n_rows)
+    out["shard_key"] = spec.key
+    out["shard_rows"] = spec.n_rows
+    table = plan.extract(spec)
+    collection = dataclasses.replace(plan.collection, table=table)
+    preprocessing = Indice(collection, config()).preprocess()
+    out["rows_out"] = preprocessing.table.n_rows
+elif mode == "sharded":
+    import pathlib
+    cache = StageCache()
+    cfg = config(stage_cache=True, spill_dir=spill_dir)
+    start = time.perf_counter()
+    cold = Indice(plan.collection, cfg, cache=cache).run_sharded(plan)
+    out["cold_s"] = time.perf_counter() - start
+    out["rows_out"] = cold.preprocessing.table.n_rows
+    out["largest_shard_rows"] = max(s.rows for s in cold.shard_stats)
+    out["spill_bytes"] = sum(s.spill_bytes for s in cold.shard_stats)
+    # invalidate exactly one shard's cached artifact, then re-run warm:
+    # that shard is recomputed, every sibling hits, and the post-merge
+    # memo reuses the fences/DBSCAN/merge work
+    victim = sorted(pathlib.Path(spill_dir).glob("*.spill"))[0]
+    blob = bytearray(victim.read_bytes())
+    blob[-10] ^= 0xFF
+    victim.write_bytes(bytes(blob))
+    start = time.perf_counter()
+    warm = Indice(plan.collection, cfg, cache=cache).run_sharded(plan)
+    out["warm_s"] = time.perf_counter() - start
+    out["warm_rows_out"] = warm.preprocessing.table.n_rows
+    out["shard_hits"] = cache.shard_hits
+    out["shard_misses"] = cache.shard_misses
+else:
+    raise SystemExit(f"unknown mode {mode!r}")
+
+out["maxrss_mb"] = maxrss_mb()
+print(json.dumps(out))
+"""
+
+
+def _run_child(mode: str, n: int, spill_dir: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, mode, str(n), spill_dir, str(BENCH_SEED)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=7200,
+    )
+    assert proc.returncode == 0, f"{mode} child failed:\n{proc.stderr[-4000:]}"
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _equivalence_gate(tmp_path: Path) -> dict:
+    """25k sharded vs monolithic serial: ``Table.__eq__`` bit-identity."""
+    plan = ShardPlan.from_generator(
+        SyntheticConfig(n_certificates=EQUIV_N, seed=BENCH_SEED),
+        "by-district",
+        noise=NoiseConfig(seed=BENCH_SEED + 1),
+    )
+    sharded = Indice(
+        plan.collection,
+        IndiceConfig(
+            geocoder_quota=QUOTA,
+            stage_cache=False,
+            spill_dir=str(tmp_path / "equiv-spills"),
+        ),
+    ).run_sharded(plan)
+
+    collection = dataclasses.replace(
+        plan.collection, table=plan.merged_input_table()
+    )
+    engine = Indice(
+        collection, IndiceConfig(geocoder_quota=QUOTA, stage_cache=False)
+    )
+    preprocessing = engine.preprocess()
+    analytics = engine.analyze()
+
+    assert sharded.preprocessing.table == preprocessing.table
+    assert sharded.analytics.table == analytics.table
+    assert sharded.analytics.rules == analytics.rules
+    return {
+        "rows": EQUIV_N,
+        "shards": len(plan.shards),
+        "rows_out": preprocessing.table.n_rows,
+        "bit_identical": True,
+    }
+
+
+def test_a16_sharded_scale(benchmark, tmp_path):
+    cpu = os.cpu_count() or 1
+
+    sharded = _run_child("sharded", BENCH_N, str(tmp_path / "spills"))
+    monolithic = _run_child("monolithic", BENCH_N, str(tmp_path / "unused"))
+    largest = _run_child("largest-shard", BENCH_N, str(tmp_path / "unused"))
+
+    # the out-of-core claim: RSS bounded by the largest shard's working
+    # set, and strictly below what the monolithic pipeline needs
+    assert sharded["maxrss_mb"] < 2 * largest["maxrss_mb"], (
+        f"sharded peak RSS {sharded['maxrss_mb']:.0f} MB exceeds 2x the "
+        f"largest shard's working set {largest['maxrss_mb']:.0f} MB"
+    )
+    assert sharded["maxrss_mb"] < monolithic["maxrss_mb"], (
+        f"sharded peak RSS {sharded['maxrss_mb']:.0f} MB is not below "
+        f"monolithic {monolithic['maxrss_mb']:.0f} MB"
+    )
+
+    # the incremental claim: one invalidated shard recomputes, the rest
+    # (including the post-merge stages) is reused
+    warm_speedup = sharded["cold_s"] / sharded["warm_s"]
+    assert warm_speedup >= 10, (
+        f"warm single-dirty-shard re-run only {warm_speedup:.1f}x faster "
+        f"({sharded['warm_s']:.1f}s vs cold {sharded['cold_s']:.1f}s)"
+    )
+    assert sharded["shard_misses"] == sharded["shards"] + 1
+    assert sharded["shard_hits"] == sharded["shards"] - 1
+
+    # cheap cross-check at scale (full bit-identity is proven at 25k):
+    # both paths keep exactly the same number of rows
+    assert sharded["rows_out"] == monolithic["rows_out"]
+    assert sharded["warm_rows_out"] == sharded["rows_out"]
+
+    equivalence = _equivalence_gate(tmp_path)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    certs_per_s = BENCH_N / sharded["cold_s"]
+    payload = {
+        "experiment": "A16_sharded",
+        "certificates": BENCH_N,
+        "cpu_count": cpu,
+        "shards": sharded["shards"],
+        "scheme": "by-district",
+        "cold_seconds": round(sharded["cold_s"], 2),
+        "certs_per_second": round(certs_per_s, 1),
+        "warm_single_dirty_shard_seconds": round(sharded["warm_s"], 2),
+        "warm_speedup": round(warm_speedup, 1),
+        "shard_hits_warm": sharded["shard_hits"],
+        "shard_misses_total": sharded["shard_misses"],
+        "spill_bytes": sharded["spill_bytes"],
+        "rows_out": sharded["rows_out"],
+        "maxrss_mb": {
+            "sharded": round(sharded["maxrss_mb"], 1),
+            "monolithic": round(monolithic["maxrss_mb"], 1),
+            "largest_shard_alone": round(largest["maxrss_mb"], 1),
+        },
+        "rss_vs_monolithic": round(
+            sharded["maxrss_mb"] / monolithic["maxrss_mb"], 3
+        ),
+        "rss_vs_largest_shard": round(
+            sharded["maxrss_mb"] / largest["maxrss_mb"], 3
+        ),
+        "largest_shard": {
+            "key": largest["shard_key"],
+            "rows": largest["shard_rows"],
+        },
+        "monolithic_seconds": round(
+            monolithic["generate_s"] + monolithic["pipeline_s"], 2
+        ),
+        "equivalence_gate_25k": equivalence,
+    }
+    out = Path(__file__).parent / "results" / "BENCH_sharded.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    write_report(
+        "A16_sharded",
+        [
+            f"A16 — sharded pipeline tier ({BENCH_N} certificates, "
+            f"{sharded['shards']} by-district shards, cpu_count={cpu})",
+            "",
+            f"cold sharded run      {sharded['cold_s']:8.1f} s   "
+            f"({certs_per_s:.0f} certs/s)",
+            f"monolithic run        "
+            f"{monolithic['generate_s'] + monolithic['pipeline_s']:8.1f} s",
+            f"warm re-run, 1 dirty  {sharded['warm_s']:8.1f} s   "
+            f"({warm_speedup:.1f}x faster than cold)",
+            "",
+            f"peak RSS: sharded {sharded['maxrss_mb']:.0f} MB  vs  "
+            f"monolithic {monolithic['maxrss_mb']:.0f} MB  vs  largest "
+            f"shard alone {largest['maxrss_mb']:.0f} MB",
+            f"  -> sharded/monolithic = "
+            f"{sharded['maxrss_mb'] / monolithic['maxrss_mb']:.2f}, "
+            f"sharded/largest-shard = "
+            f"{sharded['maxrss_mb'] / largest['maxrss_mb']:.2f} (< 2 gate)",
+            "",
+            f"25k equivalence gate: sharded output Table.__eq__-identical "
+            f"to the monolithic serial pipeline "
+            f"({equivalence['rows_out']} rows kept).",
+        ],
+    )

@@ -38,6 +38,12 @@ python -m repro.checks src/repro \
     --select LOCK002,LOCK003,LOCK004,SEM001 \
     --cache .repro-cache/checks-concurrency.json
 
+# sharded-tier smoke at a CI-budgeted 100k certificates: a cold
+# by-district run must beat the wall-clock budget, and a warm re-run
+# after invalidating one shard must reuse every other shard (the full
+# 1M experiment stays in `pytest -m bench`, see benchmarks/)
+timeout 300 python scripts/sharded_smoke.py --certificates 100000
+
 exec python -m repro.checks src/repro tests/test_checks.py \
     --cache .repro-cache/checks.json \
     --all

@@ -37,6 +37,8 @@ LOCK001    acquire-without-release      resources: every acquire has a provable
                                         release on all paths
 PAR003     shm-leak                     resources: shared memory is closed and
                                         unlinked on every path
+PAR004     spill-lifecycle              resources: every opened spill map is
+                                        closed on every path
 LOCK002    lock-order-cycle             concurrency: the cross-module lock graph
                                         is acyclic (no ABBA deadlock)
 LOCK003    inconsistent-guard           concurrency: attributes mutated under a

@@ -6,6 +6,11 @@
   context-manager ``with``.  A leaked segment survives the process on
   Linux (``/dev/shm``), so every creation site must prove its cleanup
   path statically.
+* **PAR004** — an on-disk columnar spill map (``SpillFile.open``) with no
+  matching ``close()`` in a ``finally`` block, a re-raising ``except``
+  handler, or a ``with`` statement.  A leaked map holds an open file
+  descriptor and pins the spill's pages for the life of the process —
+  with hundreds of shards that exhausts descriptors long before memory.
 * **LOCK001** — an explicit ``.acquire(...)`` on a lock / semaphore with
   no matching ``.release()`` in a ``finally`` block (or re-raising
   ``except``, or ``with`` over the same primitive) in the same scope.
@@ -23,7 +28,7 @@ from typing import Iterator
 from ..imports import ImportTable
 from ..model import Finding, Rule, SourceFile, register
 
-__all__ = ["LockLifecycle", "SharedMemoryLifecycle"]
+__all__ = ["LockLifecycle", "SharedMemoryLifecycle", "SpillLifecycle"]
 
 
 def _dotted_name(node: ast.expr) -> str | None:
@@ -191,6 +196,80 @@ class SharedMemoryLifecycle(Rule):
             ):
                 scope = parents.get(scope)
             return scope is not None and _scope_guards(scope, name, mode)
+        return False
+
+
+#: Factory attribute names returning an owned spill map.  Matched
+#: textually like the shm wrappers (the import table cannot resolve the
+#: relative ``from .spill import SpillFile``).
+_SPILL_FACTORIES = frozenset({("SpillFile", "open")})
+
+
+@register
+class SpillLifecycle(Rule):
+    """PAR004 — spill map opened without provable close on every path."""
+
+    code = "PAR004"
+    name = "spill-lifecycle"
+    rationale = (
+        "SpillFile.open returns an owned file descriptor plus a memory "
+        "map; a close() an exception can skip pins the spill's pages and "
+        "leaks the descriptor for the life of the process — with "
+        "hundreds of shards that exhausts the fd table; every open must "
+        "close in a finally, a re-raising except, or a with-statement"
+    )
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        """Flag ``SpillFile.open(...)`` calls whose cleanup is unproven."""
+        parents: dict[ast.AST, ast.AST] = {
+            child: parent
+            for parent in ast.walk(file.tree)
+            for child in ast.iter_child_nodes(parent)
+        }
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and (func.value.id, func.attr) in _SPILL_FACTORIES
+            ):
+                continue
+            if self._is_guarded(node, parents):
+                continue
+            yield Finding(
+                file.display, node.lineno, node.col_offset, self.code,
+                "spill map opened without a matching close() in a finally "
+                "block, a re-raising except handler, or a with-statement; "
+                "a failed caller would pin the spill's pages and leak its "
+                "file descriptor for the life of the process",
+            )
+
+    def _is_guarded(
+        self, call: ast.Call, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        """Same proof shapes as PAR003, with ``close()`` the only duty
+        (spills are regular files — deletion is the spill directory's
+        job, not the reader's)."""
+        parent = parents.get(call)
+        # `with SpillFile.open(p) as spill:` — __exit__ owns the cleanup
+        if isinstance(parent, ast.withitem):
+            return True
+        # `spill = SpillFile.open(p)` — the binding's scope must close it
+        if (
+            isinstance(parent, ast.Assign)
+            and parent.value is call
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            name = parent.targets[0].id
+            scope: ast.AST | None = parent
+            while scope is not None and not isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+            ):
+                scope = parents.get(scope)
+            return scope is not None and _scope_guards(scope, name, "attach")
         return False
 
 

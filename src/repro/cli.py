@@ -145,6 +145,24 @@ def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
              "'@plan.json' to load a saved plan; reproduces a chaos run "
              "exactly",
     )
+    parser.add_argument(
+        "--shards", default=None, metavar="SCHEME",
+        help="run the pipeline sharded with out-of-core merge: "
+             "'by-district', 'by-zip' or a shard count; results are "
+             "bit-identical to the monolithic path, peak memory is "
+             "bounded by the largest shard (default: monolithic)",
+    )
+    parser.add_argument(
+        "--spill-dir", type=Path, default=None, metavar="DIR",
+        help="keep the per-shard columnar spill files under DIR (with "
+             "--cache-dir this makes warm runs skip unchanged shards; "
+             "default: a temporary directory per run)",
+    )
+    parser.add_argument(
+        "--max-resident-shards", type=int, default=4, metavar="N",
+        help="spill maps kept open at once during the sharded merge "
+             "(default: 4)",
+    )
 
 
 def _make_injector(args: argparse.Namespace) -> FaultInjector | None:
@@ -159,6 +177,9 @@ def _apply_perf_arguments(config: IndiceConfig, args: argparse.Namespace) -> Ind
     config.n_jobs = args.jobs
     config.stage_cache = not args.no_cache
     config.cache_dir = str(args.cache_dir) if args.cache_dir else None
+    config.shards = args.shards
+    config.spill_dir = str(args.spill_dir) if args.spill_dir else None
+    config.max_resident_shards = args.max_resident_shards
     return config
 
 
@@ -194,6 +215,35 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    granularity = (
+        Granularity[args.granularity.upper()] if args.granularity else None
+    )
+    if args.shards:
+        # sharded tier: shards are generated/cleaned one at a time, so
+        # the full collection is never resident (no _make_collection)
+        from .perf.shards import ShardPlan
+
+        if args.auto_config:
+            print("--auto-config needs the materialized table and cannot "
+                  "be combined with --shards")
+            return 2
+        plan = ShardPlan.from_generator(
+            SyntheticConfig(n_certificates=args.certificates, seed=args.seed),
+            args.shards,
+            noise=NoiseConfig(seed=args.seed + 1),
+        )
+        engine = Indice(
+            plan.collection, _apply_perf_arguments(IndiceConfig(), args),
+            injector=_make_injector(args),
+        )
+        engine.run_sharded(plan)
+        dashboard = engine.build_dashboard(
+            Stakeholder(args.stakeholder), granularity
+        )
+        path = dashboard.save(args.output)
+        print(engine.log.describe())
+        print(f"\ndashboard written to {path}")
+        return 0
     collection = _make_collection(args.certificates, args.seed, dirty=True)
     if args.auto_config:
         config = suggest_config(collection.table).config
@@ -202,9 +252,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine = Indice(
         collection, _apply_perf_arguments(config, args),
         injector=_make_injector(args),
-    )
-    granularity = (
-        Granularity[args.granularity.upper()] if args.granularity else None
     )
     dashboard = engine.run(Stakeholder(args.stakeholder), granularity)
     path = dashboard.save(args.output)

@@ -70,6 +70,18 @@ class IndiceConfig:
     stage_cache: bool = True
     #: Optional directory persisting stage-cache entries across processes.
     cache_dir: str | None = None
+    #: Shard scheme for :meth:`Indice.run_sharded` via the CLI:
+    #: ``"by-district"``, ``"by-zip"`` or a shard count (as a string).
+    #: ``None`` (the default) keeps the monolithic path.  Sharding never
+    #: changes results — the merged output is bit-identical to the
+    #: monolithic serial pipeline — so this is a perf-only knob.
+    shards: str | None = None
+    #: Directory for the per-shard columnar spill files (``None`` = a
+    #: temporary directory per run).
+    spill_dir: str | None = None
+    #: Shards kept decoded in memory at once during the out-of-core
+    #: merge; peak RSS scales with this, never with the dataset.
+    max_resident_shards: int = 4
 
     # -- resilience (how failures are absorbed; never changes a successful
     # run's results, so excluded from stage-cache fingerprints like the

@@ -47,7 +47,7 @@ from ..faults.plan import FaultInjector
 from ..faults.policy import Deadline
 from ..geo.regions import Granularity
 from ..perf.cache import StageCache, fingerprint_table, fingerprint_value
-from ..perf.parallel import ParallelMap
+from ..perf.parallel import ParallelMap, feature_matrix, grouped_mean
 from ..preprocessing.address_cleaner import AddressCleaner, CleaningReport
 from ..preprocessing.dbscan import dbscan
 from ..preprocessing.geocoder import SimulatedGeocoder
@@ -137,11 +137,19 @@ class AnalyticsOutcome:
     # tab's granularity, so they are computed once and memoized here instead
     # of once per tab.
 
-    def region_means(self, region_column: str, response: str) -> dict:
-        """Mean *response* per region (memoized; missing regions dropped)."""
+    def region_means(
+        self, region_column: str, response: str, executor=None
+    ) -> dict:
+        """Mean *response* per region (memoized; missing regions dropped).
+
+        *executor* (a :class:`~repro.perf.parallel.ParallelMap`, as the
+        engine passes when building dashboards) routes the aggregation
+        through the columnar parallel path; results are bit-identical
+        either way, so the memo never cares which path filled it.
+        """
         key = ("region_means", region_column, response)
         if key not in self._memo:
-            means = self.table.aggregate(region_column, response, np.mean)
+            means = grouped_mean(self.table, region_column, response, executor)
             means.pop(None, None)
             self._memo[key] = means
         return self._memo[key]
@@ -295,40 +303,7 @@ class Indice:
             duplicates=quality.n_duplicate_certificates,
         )
 
-        # The referenced street map covers the city under analysis (the paper
-        # downloads it per city), so cleaning is scoped to that city's rows:
-        # matching out-of-city addresses against it would mis-geocode them.
-        city_mask = Comparison("city", "==", cfg.city).mask(table)
-        city_rows = np.flatnonzero(city_mask)
-        geocoder = SimulatedGeocoder(
-            self.collection.street_map, quota=cfg.geocoder_quota,
-            injector=self.injector,
-        )
-        cleaner = AddressCleaner(
-            self.collection.street_map, cfg.cleaning, geocoder,
-            executor=self.executor,
-            retry=cfg.resilience.retry_policy(seed=cfg.seed),
-            breaker=cfg.resilience.breaker(),
-        )
-        clean_start = time.perf_counter()
-        report = cleaner.clean_table(table.take(city_rows))
-        clean_elapsed = time.perf_counter() - clean_start
-        self.log.record(
-            "preprocessing", "geospatial_cleaning",
-            elapsed_s=clean_elapsed,
-            rows_per_s=(
-                len(city_rows) / clean_elapsed if clean_elapsed > 0 else None
-            ),
-            city=cfg.city,
-            phi=cfg.cleaning.phi,
-            n_jobs=self.executor.resolve_jobs(),
-            rows_cleaned=len(city_rows),
-            resolution_rate=round(report.resolution_rate(), 4),
-            geocoder_requests=report.geocoder_requests,
-        )
-        for degradation in report.degradations:
-            self.log.record("preprocessing", "degradation", **degradation)
-        cleaned = self._scatter_cleaned(table, report.table, city_rows)
+        cleaned, report, city_rows = self._clean_city_rows(table)
 
         analysis_attributes = tuple(cfg.features) + (cfg.response,)
         keep = np.ones(cleaned.n_rows, dtype=bool)
@@ -368,7 +343,9 @@ class Indice:
                 budget_s=cfg.resilience.stage_timeout_s,
             )
         elif cfg.run_multivariate_outliers:
-            matrix, __ = standardize(filtered.to_matrix(list(cfg.features)))
+            matrix, __ = standardize(
+                feature_matrix(filtered, cfg.features, self.executor)
+            )
             estimate = estimate_dbscan_params(matrix)
             result = dbscan(matrix, estimate.eps, estimate.min_points)
             complete = ~np.isnan(matrix).any(axis=1)
@@ -400,6 +377,70 @@ class Indice:
             self._cache_put("preprocessing", cache_key, outcome)
         self._preprocessed = outcome
         return outcome
+
+    def _clean_city_rows(
+        self, table: Table
+    ) -> tuple[Table, CleaningReport, np.ndarray]:
+        """Clean the configured city's rows of *table*, scatter them back.
+
+        The referenced street map covers the city under analysis (the
+        paper downloads it per city), so cleaning is scoped to that
+        city's rows: matching out-of-city addresses against it would
+        mis-geocode them.  Shared by the monolithic :meth:`preprocess`
+        and the per-shard transform of :meth:`run_sharded` — which is
+        what makes the two paths row-for-row identical.  Returns the
+        full-width cleaned table, the cleaning report and the cleaned
+        row indices.
+        """
+        cfg = self.config
+        city_mask = Comparison("city", "==", cfg.city).mask(table)
+        city_rows = np.flatnonzero(city_mask)
+        geocoder = SimulatedGeocoder(
+            self.collection.street_map, quota=cfg.geocoder_quota,
+            injector=self.injector,
+        )
+        cleaner = AddressCleaner(
+            self.collection.street_map, cfg.cleaning, geocoder,
+            executor=self.executor,
+            retry=cfg.resilience.retry_policy(seed=cfg.seed),
+            breaker=cfg.resilience.breaker(),
+        )
+        clean_start = time.perf_counter()
+        report = cleaner.clean_table(table.take(city_rows))
+        clean_elapsed = time.perf_counter() - clean_start
+        self.log.record(
+            "preprocessing", "geospatial_cleaning",
+            elapsed_s=clean_elapsed,
+            rows_per_s=(
+                len(city_rows) / clean_elapsed if clean_elapsed > 0 else None
+            ),
+            city=cfg.city,
+            phi=cfg.cleaning.phi,
+            n_jobs=self.executor.resolve_jobs(),
+            rows_cleaned=len(city_rows),
+            resolution_rate=round(report.resolution_rate(), 4),
+            geocoder_requests=report.geocoder_requests,
+        )
+        for degradation in report.degradations:
+            self.log.record("preprocessing", "degradation", **degradation)
+        cleaned = self._scatter_cleaned(table, report.table, city_rows)
+        return cleaned, report, city_rows
+
+    def run_sharded(self, plan) -> "object":
+        """Run the pipeline sharded per *plan* (out-of-core merge).
+
+        The sharded tier extracts, cleans and spills one shard at a time
+        (peak memory bounded by the largest shard), memoizes each shard
+        under a shard-granular cache key, and runs the global stages on
+        columns gathered back in original row order — so the outcome is
+        bit-identical to the monolithic pipeline over the same rows.  See
+        :mod:`repro.perf.shards`; returns its ``ShardedOutcome``.
+        """
+        # function-scope import: repro.perf.shards imports this module at
+        # top level, so the reverse edge must stay out of the module graph
+        from ..perf.shards import ShardRunner
+
+        return ShardRunner(self, plan).run()
 
     # ------------------------------------------------------------------
     # Tier 2: data selection and analytics
@@ -457,7 +498,9 @@ class Indice:
         )
 
         kmeans_start = time.perf_counter()
-        matrix, __ = standardize(table.to_matrix(list(cfg.features)))
+        matrix, __ = standardize(
+            feature_matrix(table, cfg.features, self.executor)
+        )
         clustering = kmeans_auto(
             matrix, cfg.k_range, seed=cfg.seed, n_init=cfg.kmeans_n_init
         )
@@ -568,7 +611,9 @@ class Indice:
             region_column = (
                 "district" if level is Granularity.DISTRICT else "neighbourhood"
             )
-            means = analytics.region_means(region_column, cfg.response)
+            means = analytics.region_means(
+                region_column, cfg.response, self.executor
+            )
             if granularity is Granularity.NEIGHBOURHOOD:
                 # Figure 2 (upper): area averages with per-certificate markers
                 builder.add_map(

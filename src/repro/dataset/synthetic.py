@@ -30,6 +30,7 @@ qualitatively.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,7 +45,12 @@ __all__ = [
     "EraRegime",
     "ERA_REGIMES",
     "EpcCollection",
+    "ShardRecipe",
     "generate_epc_collection",
+    "generate_epc_shard",
+    "merge_epc_collections",
+    "plan_generation_shards",
+    "shard_seed_sequence",
 ]
 
 
@@ -275,17 +281,29 @@ def _quality_from_u(u_values: np.ndarray, good: float, poor: float) -> list[str]
 
 
 def _pick_buildings(
-    rng: np.random.Generator, street_map: StreetMap, n_units: int
+    rng: np.random.Generator,
+    street_map: StreetMap,
+    n_units: int,
+    record_pool: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sample gazetteer buildings and unit counts until *n_units* are placed.
 
-    Returns ``(record_index_per_unit, units_in_building_per_unit)``.
+    *record_pool* restricts the draw to a subset of gazetteer records (a
+    shard's districts or ZIP codes); ``None`` draws from the whole map,
+    with the exact same RNG consumption as the historical unrestricted
+    path.  Returns ``(record_index_per_unit, units_in_building_per_unit)``.
     """
     record_indices: list[int] = []
     building_sizes: list[int] = []
-    n_records = len(street_map.records)
+    pool = (
+        np.arange(len(street_map.records), dtype=np.intp)
+        if record_pool is None
+        else np.asarray(record_pool, dtype=np.intp)
+    )
+    if n_units > 0 and len(pool) == 0:
+        raise ValueError("cannot place units: the shard's record pool is empty")
     while len(record_indices) < n_units:
-        rec = int(rng.integers(0, n_records))
+        rec = int(pool[int(rng.integers(0, len(pool)))])
         size = int(np.clip(rng.geometric(0.22), 1, 60))
         take = min(size, n_units - len(record_indices))
         record_indices.extend([rec] * take)
@@ -309,16 +327,43 @@ def generate_epc_collection(config: SyntheticConfig | None = None) -> EpcCollect
     street_map, hierarchy = generate_street_map(
         seed=cfg.seed, streets_per_neighbourhood=cfg.streets_per_neighbourhood
     )
+    n_turin = int(round(cfg.n_certificates * cfg.turin_share))
+    return _generate_certificates(
+        rng, cfg, schema, street_map, hierarchy,
+        n_turin=n_turin, n_other=cfg.n_certificates - n_turin,
+        record_pool=None, id_tag="",
+    )
 
-    n = cfg.n_certificates
-    n_turin = int(round(n * cfg.turin_share))
-    n_other = n - n_turin
+
+def _generate_certificates(
+    rng: np.random.Generator,
+    cfg: SyntheticConfig,
+    schema: EpcSchema,
+    street_map: StreetMap,
+    hierarchy: RegionHierarchy,
+    n_turin: int,
+    n_other: int,
+    record_pool: np.ndarray | None,
+    id_tag: str,
+) -> EpcCollection:
+    """The generation core, parametrized for whole-sweep and shard use.
+
+    Draws every attribute from *rng* in a fixed order, so the monolithic
+    path (``record_pool=None``, ``id_tag=""``, the config-seeded *rng*)
+    reproduces the historical byte-for-byte output, while a shard passes
+    its own key-derived *rng*, a gazetteer *record_pool* restricting
+    Turin placement to the shard's districts/ZIPs, and an *id_tag*
+    keeping certificate ids globally unique across shards.
+    """
+    n = n_turin + n_other
 
     district_names = [d.name for d in hierarchy.districts]
     district_of_name = {name: i for i, name in enumerate(district_names)}
 
     # ---- placement -----------------------------------------------------
-    gaz_idx_turin, building_units = _pick_buildings(rng, street_map, n_turin)
+    gaz_idx_turin, building_units = _pick_buildings(
+        rng, street_map, n_turin, record_pool
+    )
     turin_records: list[AddressRecord] = [street_map.records[i] for i in gaz_idx_turin]
     # transpose the record list once; each per-column comprehension below
     # would otherwise re-walk all records for a single attribute
@@ -551,7 +596,10 @@ def generate_epc_collection(config: SyntheticConfig | None = None) -> EpcCollect
         "certificate_year": (ColumnKind.NUMERIC, certificate_year),
         "renovation_year": (ColumnKind.NUMERIC, renovation_year),
         # identity and location
-        "certificate_id": (ColumnKind.TEXT, [f"EPC-{cfg.seed}-{i:06d}" for i in range(n)]),
+        "certificate_id": (
+            ColumnKind.TEXT,
+            [f"EPC-{cfg.seed}-{id_tag}{i:06d}" for i in range(n)],
+        ),
         "address": (ColumnKind.TEXT, address),
         "house_number": (ColumnKind.TEXT, house_number),
         "zip_code": (ColumnKind.CATEGORICAL, zip_code),
@@ -859,6 +907,219 @@ def generate_epc_collection(config: SyntheticConfig | None = None) -> EpcCollect
         schema=schema,
         street_map=street_map,
         hierarchy=hierarchy,
+        era_labels=era_labels,
+        gazetteer_index=gazetteer_index,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sharded generation
+# ---------------------------------------------------------------------------
+#
+# A shard is generated *independently*: its RNG is seeded from the
+# (collection seed, shard key) pair, never from the position of the shard
+# in a sweep, so shard N's bytes are identical whether it is generated
+# alone, re-generated after editing a sibling, or produced in a full
+# sweep.  That independence is what makes shard-granular caching sound —
+# the recipe below *is* the content address of the shard's input.
+
+
+@dataclass(frozen=True)
+class ShardRecipe:
+    """A self-contained description of one generation shard.
+
+    ``key`` is the stable shard identity (``district:Centro``,
+    ``zip:10121``, ``other``, ``part:03``); ``pool`` restricts Turin
+    placement to a gazetteer subset (``None`` = whole map) and is resolved
+    against the street map at generation time, so the recipe stays a few
+    plain strings and ints — trivially fingerprintable.
+    """
+
+    key: str
+    n_turin: int
+    n_other: int
+    #: ``None`` (whole map), ``"district:<name>"`` or ``"zip:<code>"``.
+    pool: str | None = None
+
+    @property
+    def n_certificates(self) -> int:
+        """Total rows this shard generates."""
+        return self.n_turin + self.n_other
+
+    @property
+    def id_tag(self) -> str:
+        """The certificate-id infix keeping ids unique across shards."""
+        safe = "".join(ch if ch.isalnum() else "-" for ch in self.key)
+        return f"{safe}-"
+
+
+def shard_seed_sequence(seed: int, key: str) -> np.random.SeedSequence:
+    """The per-shard RNG seed: collection seed + hashed shard key.
+
+    The key is folded through SHA-256 (not ``hash()``, which is
+    salted per process) so the same ``(seed, key)`` pair yields the same
+    stream on every machine and in every worker.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return np.random.SeedSequence(
+        [int(seed), int.from_bytes(digest[:8], "little")]
+    )
+
+
+def _apportion(total: int, weights: list[float]) -> list[int]:
+    """Split *total* into integer parts proportional to *weights*.
+
+    Largest-remainder method with a deterministic tie-break (earlier
+    index wins), so the same inputs always yield the same split and the
+    parts sum exactly to *total*.
+    """
+    if not weights:
+        return []
+    w = np.asarray(weights, dtype=np.float64)
+    if w.sum() <= 0:
+        raise ValueError("apportionment weights must have a positive sum")
+    shares = total * w / w.sum()
+    base = np.floor(shares).astype(np.int64)
+    order = sorted(
+        range(len(w)), key=lambda i: (-(float(shares[i]) - int(base[i])), i)
+    )
+    for i in order[: int(total - base.sum())]:
+        base[i] += 1
+    return [int(v) for v in base]
+
+
+def _pool_indices(street_map: StreetMap, pool: str | None) -> np.ndarray | None:
+    """Resolve a :class:`ShardRecipe` pool spec to gazetteer indices."""
+    if pool is None:
+        return None
+    field_name, __, wanted = pool.partition(":")
+    if field_name == "district":
+        match = [
+            i for i, r in enumerate(street_map.records) if r.district == wanted
+        ]
+    elif field_name == "zip":
+        match = [
+            i for i, r in enumerate(street_map.records) if r.zip_code == wanted
+        ]
+    else:
+        raise ValueError(f"unknown record pool spec {pool!r}")
+    return np.asarray(match, dtype=np.intp)
+
+
+def plan_generation_shards(
+    config: SyntheticConfig | None, by: str | int
+) -> tuple[ShardRecipe, ...]:
+    """Deterministic shard recipes covering the whole collection.
+
+    *by* selects the partition key:
+
+    * ``"by-district"`` — one shard per Turin district (sized by its
+      gazetteer weight) plus one ``other`` shard for the non-Turin towns;
+    * ``"by-zip"`` — same, keyed on Turin ZIP codes;
+    * an integer ``N`` — ``N`` near-equal shards, each with the
+      collection's Turin/other mix and the whole gazetteer as pool.
+
+    Shard sizes always sum exactly to ``config.n_certificates``, and the
+    recipe tuple depends only on (config, street map) — never on which
+    shards were generated before.
+    """
+    cfg = config or SyntheticConfig()
+    n_turin = int(round(cfg.n_certificates * cfg.turin_share))
+    n_other = cfg.n_certificates - n_turin
+    if isinstance(by, int) or (isinstance(by, str) and by.isdigit()):
+        count = int(by)
+        if count < 1:
+            raise ValueError(f"shard count must be >= 1, got {count}")
+        turin_sizes = _apportion(n_turin, [1.0] * count)
+        other_sizes = _apportion(n_other, [1.0] * count)
+        return tuple(
+            ShardRecipe(f"part:{i:02d}", turin_sizes[i], other_sizes[i])
+            for i in range(count)
+        )
+
+    street_map, __ = generate_street_map(
+        seed=cfg.seed, streets_per_neighbourhood=cfg.streets_per_neighbourhood
+    )
+    if by in ("by-district", "district"):
+        field_name = "district"
+        keys = list(
+            dict.fromkeys(r.district for r in street_map.records)
+        )
+    elif by in ("by-zip", "zip"):
+        field_name = "zip"
+        keys = sorted(dict.fromkeys(r.zip_code for r in street_map.records))
+    else:
+        raise ValueError(
+            f"unknown shard scheme {by!r}; use 'by-district', 'by-zip' or a count"
+        )
+    counts: dict[str, int] = {key: 0 for key in keys}
+    for record in street_map.records:
+        value = getattr(record, "district" if field_name == "district" else "zip_code")
+        counts[value] += 1
+    sizes = _apportion(n_turin, [float(counts[k]) for k in keys])
+    recipes = [
+        ShardRecipe(
+            f"{field_name}:{key}", sizes[i], 0, pool=f"{field_name}:{key}"
+        )
+        for i, key in enumerate(keys)
+    ]
+    if n_other > 0:
+        recipes.append(ShardRecipe("other", 0, n_other))
+    return tuple(recipes)
+
+
+def generate_epc_shard(
+    config: SyntheticConfig | None,
+    recipe: ShardRecipe,
+    street_map: StreetMap | None = None,
+    hierarchy: RegionHierarchy | None = None,
+) -> EpcCollection:
+    """Generate one shard of the collection, independently of its siblings.
+
+    The RNG stream is derived from ``(config.seed, recipe.key)`` only, so
+    the shard's bytes never depend on which other shards exist or ran
+    first.  Pass the shared *street_map*/*hierarchy* to skip regenerating
+    them per shard (they are themselves deterministic in the seed, so the
+    output is identical either way).
+    """
+    cfg = config or SyntheticConfig()
+    if street_map is None or hierarchy is None:
+        street_map, hierarchy = generate_street_map(
+            seed=cfg.seed,
+            streets_per_neighbourhood=cfg.streets_per_neighbourhood,
+        )
+    rng = np.random.default_rng(shard_seed_sequence(cfg.seed, recipe.key))
+    return _generate_certificates(
+        rng, cfg, epc_schema(), street_map, hierarchy,
+        n_turin=recipe.n_turin, n_other=recipe.n_other,
+        record_pool=_pool_indices(street_map, recipe.pool),
+        id_tag=recipe.id_tag,
+    )
+
+
+def merge_epc_collections(collections: list[EpcCollection]) -> EpcCollection:
+    """Concatenate shard collections into one, in the given order.
+
+    The merged table is the row-wise concatenation (``Table.vstack``), and
+    the ground truth (era labels, gazetteer index) concatenates in the
+    same order, so merging the shards of :func:`plan_generation_shards`
+    in recipe order yields a deterministic whole-collection view.
+    """
+    if not collections:
+        raise ValueError("cannot merge zero collections")
+    table = collections[0].table
+    for other in collections[1:]:
+        table = table.vstack(other.table)
+    era_labels = [label for c in collections for label in c.era_labels]
+    gazetteer_index = np.concatenate(
+        [c.gazetteer_index for c in collections]
+    )
+    first = collections[0]
+    return EpcCollection(
+        table=table,
+        schema=first.schema,
+        street_map=first.street_map,
+        hierarchy=first.hierarchy,
         era_labels=era_labels,
         gazetteer_index=gazetteer_index,
     )

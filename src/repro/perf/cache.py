@@ -43,7 +43,15 @@ __all__ = [
 
 #: Config fields that affect performance (or failure handling) but never
 #: the results of a successful run.
-PERF_ONLY_FIELDS = ("n_jobs", "stage_cache", "cache_dir", "resilience")
+PERF_ONLY_FIELDS = (
+    "n_jobs",
+    "stage_cache",
+    "cache_dir",
+    "resilience",
+    "shards",
+    "spill_dir",
+    "max_resident_shards",
+)
 
 
 def _canonical(obj: Any) -> Any:
@@ -162,6 +170,11 @@ class StageCache:
         self.misses = 0
         self.read_errors = 0
         self.write_errors = 0
+        #: Shard-granular traffic (see :meth:`get_shard`); counted apart
+        #: from the whole-stage hits/misses so a provenance log can show
+        #: "1 shard recomputed, 16 reused" after a single-district edit.
+        self.shard_hits = 0
+        self.shard_misses = 0
 
     @staticmethod
     def key(stage: str, *fingerprints: str) -> str:
@@ -171,6 +184,24 @@ class StageCache:
             h.update(b"\x1f")
             h.update(fp.encode("utf-8"))
         return f"{stage}-{h.hexdigest()[:32]}"
+
+    @staticmethod
+    def shard_key(
+        stage: str,
+        config_fingerprint: str,
+        shard: str,
+        content_fingerprint: str,
+    ) -> str:
+        """The shard-granular cache key of one shard of a sharded stage.
+
+        The triple ``(config_fingerprint, shard_key, shard_content_hash)``
+        is the whole invalidation story: editing one district changes only
+        that shard's content hash, so every sibling shard still hits —
+        the fix for "one dirty row invalidates the world".
+        """
+        return StageCache.key(
+            f"{stage}.shard", config_fingerprint, shard, content_fingerprint
+        )
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -226,6 +257,34 @@ class StageCache:
                 return True, value
             self.misses += 1
             return False, None
+
+    def count_shard_hit(self) -> None:
+        """Count one reused shard (see :meth:`get_shard`)."""
+        with self._lock:
+            self.shard_hits += 1
+
+    def count_shard_miss(self) -> None:
+        """Count one recomputed shard (see :meth:`get_shard`)."""
+        with self._lock:
+            self.shard_misses += 1
+
+    def get_shard(self, key: str) -> tuple[bool, Any]:
+        """:meth:`get`, additionally counted in the shard-level counters.
+
+        The sharded runner drives ``shard_hits``/``shard_misses`` so they
+        measure exactly the incremental story (how many shards were reused
+        vs. recomputed), independent of the whole-stage counters the
+        monolithic path uses.  The runner counts through
+        :meth:`count_shard_hit` / :meth:`count_shard_miss` directly
+        because a found record whose spill file fails validation must be
+        demoted to a miss.
+        """
+        found, value = self.get(key)
+        if found:
+            self.count_shard_hit()
+        else:
+            self.count_shard_miss()
+        return found, value
 
     def put(self, key: str, value: Any) -> None:
         """Store *value* under *key* (memory, plus disk when configured).

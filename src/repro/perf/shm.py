@@ -44,7 +44,13 @@ import numpy as np
 
 from ..dataset.table import Column, ColumnKind, Table
 
-__all__ = ["ColumnSpec", "TableSlice", "SharedTable", "attach_slice"]
+__all__ = [
+    "ColumnSpec",
+    "TableSlice",
+    "SharedTable",
+    "attach_slice",
+    "encode_table",
+]
 
 #: Part labels used in :class:`ColumnSpec.parts`.
 _F8 = "f8"                # raw float64 values
@@ -176,6 +182,37 @@ def _decode_column(
     return Column(spec.name, spec.kind, values)
 
 
+def encode_table(
+    table: Table,
+) -> tuple[tuple[ColumnSpec, ...], list[bytes], int]:
+    """Encode *table* into its columnar wire form.
+
+    Returns ``(specs, buffers, total_bytes)``: one :class:`ColumnSpec` per
+    column, the raw part buffers in offset order (concatenating them
+    yields the payload the specs' windows index into), and the payload
+    size.  This is the single layout used by both transports — the
+    shared-memory block (:class:`SharedTable`) and the on-disk spill file
+    (:mod:`repro.perf.spill`) — so a table spilled by one and decoded by
+    the other round-trips exactly.
+    """
+    buffers: list[bytes] = []
+    spec_parts: list[list[tuple[str, int, int]]] = []
+    cursor = 0
+    for name in table.column_names:
+        column = table.column(name)
+        windows: list[tuple[str, int, int]] = []
+        for label, raw in _column_parts(column):
+            windows.append((label, cursor, len(raw)))
+            buffers.append(raw)
+            cursor += len(raw)
+        spec_parts.append(windows)
+    specs = tuple(
+        ColumnSpec(name, table.kind(name), tuple(windows))
+        for name, windows in zip(table.column_names, spec_parts)
+    )
+    return specs, buffers, cursor
+
+
 class SharedTable:
     """A :class:`Table` encoded into one owned shared-memory block.
 
@@ -206,25 +243,11 @@ class SharedTable:
     @classmethod
     def create(cls, table: Table) -> "SharedTable":
         """Encode *table* into a fresh shared-memory block."""
-        parts: list[tuple[str, bytes]] = []
-        spec_parts: list[list[tuple[str, int, int]]] = []
-        cursor = 0
-        for name in table.column_names:
-            column = table.column(name)
-            windows: list[tuple[str, int, int]] = []
-            for label, raw in _column_parts(column):
-                windows.append((label, cursor, len(raw)))
-                parts.append((label, raw))
-                cursor += len(raw)
-            spec_parts.append(windows)
-        specs = tuple(
-            ColumnSpec(name, table.kind(name), tuple(windows))
-            for name, windows in zip(table.column_names, spec_parts)
-        )
+        specs, buffers, cursor = encode_table(table)
         shm = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
         try:
             offset = 0
-            for __, raw in parts:
+            for raw in buffers:
                 shm.buf[offset : offset + len(raw)] = raw
                 offset += len(raw)
             return cls(shm, specs, table.n_rows, cursor)

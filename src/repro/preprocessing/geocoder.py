@@ -16,6 +16,7 @@ metered resource that can run out.  Both are modelled here.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -92,7 +93,14 @@ class SimulatedGeocoder:
         The real free tier was ~2500/day when the paper was written.
     error_rate:
         Probability that a resolvable request returns a *wrong* street
-        (production geocoders confidently mis-resolve some queries).
+        (production geocoders confidently mis-resolve some queries).  The
+        error process is *content-addressed* — a pure function of
+        ``(seed, normalized query)`` — so a given query always resolves
+        the same way regardless of request order.  That is how production
+        geocoders actually misbehave (the same query reproduces the same
+        wrong answer), and it makes resolution independent of batching:
+        retried, parallel and sharded runs all reproduce the identical
+        result.
     seed:
         Seed for the error process, making runs reproducible.
     injector:
@@ -125,7 +133,7 @@ class SimulatedGeocoder:
         self.quota = quota
         self.requests_made = 0
         self.error_rate = error_rate
-        self._rng = np.random.default_rng(seed)
+        self._seed = seed
         self._injector = injector
 
     @property
@@ -139,10 +147,11 @@ class SimulatedGeocoder:
         Counts against the quota whether or not resolution succeeds, like
         the real API.  Raises :class:`QuotaExceededError` once spent.
 
-        Injected faults fire *before* any quota or RNG state is touched,
-        so a transiently-failed request consumes neither quota nor the
-        error-process RNG — a successful retry returns exactly what the
-        fault-free call would have (the bit-identical-recovery invariant).
+        Injected faults fire *before* any quota state is touched, and the
+        error process is a pure function of the query — a transiently-
+        failed request consumes no state at all, so a successful retry
+        returns exactly what the fault-free call would have (the
+        bit-identical-recovery invariant).
         """
         if self._injector is not None:
             kind = self._injector.arrive(GEOCODER_REQUEST)
@@ -189,9 +198,17 @@ class SimulatedGeocoder:
             return GeocodeResponse(GeocodeStatus.NOT_FOUND)
 
         street = self._streets[best_i]
-        if self.error_rate > 0 and self._rng.random() < self.error_rate:
-            wrong = int(self._rng.integers(0, len(self._streets)))
-            street = self._streets[wrong]
+        if self.error_rate > 0:
+            # content-addressed error draw: uniform variate and wrong-street
+            # pick both derived from a hash of (seed, query), never from
+            # request order — see the class docstring
+            digest = hashlib.sha256(
+                f"{self._seed}:{street_part}".encode("utf-8")
+            ).digest()
+            draw = int.from_bytes(digest[:8], "little") / 2.0**64
+            if draw < self.error_rate:
+                wrong = int.from_bytes(digest[8:16], "little") % len(self._streets)
+                street = self._streets[wrong]
 
         record = self._pick_record(street, number)
         return GeocodeResponse(GeocodeStatus.OK, record, confidence=float(best_sim))

@@ -1,0 +1,17 @@
+"""PAR004 positive: spill maps without cleanup (2 findings)."""
+
+from repro.perf.spill import SpillFile
+
+
+def peek_rows(path):
+    # opened and read, never closed: the map and fd leak with the caller
+    spill = SpillFile.open(path)
+    return spill.n_rows
+
+
+def read_column(path, name):
+    # an exception in column() skips the close below it
+    spill = SpillFile.open(path)
+    column = spill.column(name)
+    spill.close()
+    return column

@@ -1,0 +1,29 @@
+"""PAR004 negative: every spill map provably closed."""
+
+from repro.perf.spill import SpillFile
+
+
+def read_column(path, name):
+    # reader: close in a finally
+    spill = SpillFile.open(path)
+    try:
+        return spill.column(name)
+    finally:
+        spill.close()
+
+
+def open_validated(path):
+    # factory pattern: cleanup on failure, ownership transferred on success
+    spill = SpillFile.open(path)
+    try:
+        spill.verify()
+        return spill
+    except BaseException:
+        spill.close()
+        raise
+
+
+def materialize(path):
+    # context manager: __exit__ owns the cleanup
+    with SpillFile.open(path) as spill:
+        return spill.to_table()

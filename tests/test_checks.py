@@ -47,6 +47,7 @@ EXPECTED = {
     "par001": ("PAR001", 3),
     "par002": ("PAR002", 2),
     "par003": ("PAR003", 2),
+    "par004": ("PAR004", 2),
     "lock001": ("LOCK001", 2),
     "lock002": ("LOCK002", 2),
     "lock003": ("LOCK003", 2),

@@ -1,0 +1,395 @@
+"""Sharded pipeline tier: spill codec, shard plans, merge equivalence.
+
+The tier's one invariant — the property these tests pin down from every
+angle — is **bit-identity**: for *any* shard partitioning (1, 4 or 17
+parts, by-district, by-zip; generated per shard or sliced from a resident
+table), the sharded run's merged output satisfies ``Table.__eq__``
+against the monolithic serial pipeline over the same rows, including
+under injected worker crashes and spill-write faults (a shard retry must
+never duplicate or drop a row).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import Indice, IndiceConfig
+from repro.dataset import (
+    NoiseConfig,
+    SyntheticConfig,
+    apply_noise,
+    generate_epc_collection,
+)
+from repro.dataset.synthetic import (
+    ShardRecipe,
+    generate_epc_shard,
+    merge_epc_collections,
+    plan_generation_shards,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.perf.cache import StageCache
+from repro.perf.shards import ShardPlan, ShardRunner
+from repro.perf.spill import SpillError, SpillFile, write_spill
+
+N = 1600
+SEED = 17
+
+#: Quota high enough that it never binds: per-shard cleaning is then a
+#: pure per-row function and sharded output is provably bit-identical
+#: (the documented equivalence caveat).
+QUOTA = 10**9
+
+
+def _dirty_collection(n=N, seed=SEED):
+    clean = generate_epc_collection(SyntheticConfig(n_certificates=n, seed=seed))
+    noisy = apply_noise(clean, NoiseConfig(seed=seed + 1))
+    return dataclasses.replace(clean, table=noisy.table)
+
+
+def _config(**overrides):
+    base = dict(geocoder_quota=QUOTA, stage_cache=False)
+    base.update(overrides)
+    return IndiceConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return _dirty_collection()
+
+
+@pytest.fixture(scope="module")
+def monolithic(collection):
+    """The monolithic serial pipeline over the shared dirty collection."""
+    engine = Indice(collection, _config())
+    preprocessing = engine.preprocess()
+    analytics = engine.analyze()
+    return preprocessing, analytics
+
+
+# ---------------------------------------------------------------------------
+# spill codec
+# ---------------------------------------------------------------------------
+
+
+class TestSpillCodec:
+    def test_round_trip_bit_identical(self, collection, tmp_path):
+        path = tmp_path / "table.spill"
+        size = write_spill(collection.table, path)
+        assert path.stat().st_size == size
+        with SpillFile.open(path) as spill:
+            assert spill.n_rows == collection.table.n_rows
+            assert spill.column_names == collection.table.column_names
+            spill.verify()
+            assert spill.to_table() == collection.table
+
+    def test_column_projection_reads(self, collection, tmp_path):
+        path = tmp_path / "table.spill"
+        write_spill(collection.table, path)
+        with SpillFile.open(path) as spill:
+            narrow = spill.to_table(["eph", "district"])
+            assert narrow.column_names == ["eph", "district"]
+            assert narrow.column("eph") == collection.table.column("eph")
+            assert narrow.column("district") == collection.table.column("district")
+
+    def test_truncated_file_raises(self, collection, tmp_path):
+        path = tmp_path / "table.spill"
+        write_spill(collection.table, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SpillError):
+            SpillFile.open(path)
+
+    def test_corrupted_payload_fails_verify(self, collection, tmp_path):
+        path = tmp_path / "table.spill"
+        write_spill(collection.table, path)
+        data = bytearray(path.read_bytes())
+        data[-20] ^= 0xFF  # flip one payload byte, keep the size intact
+        path.write_bytes(bytes(data))
+        spill = SpillFile.open(path)
+        try:
+            with pytest.raises(SpillError):
+                spill.verify()
+        finally:
+            spill.close()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SpillError):
+            SpillFile.open(tmp_path / "absent.spill")
+
+    def test_closed_spill_refuses_reads(self, collection, tmp_path):
+        path = tmp_path / "table.spill"
+        write_spill(collection.table, path)
+        spill = SpillFile.open(path)
+        spill.close()
+        spill.close()  # idempotent
+        with pytest.raises(SpillError):
+            spill.column("eph")
+
+    def test_injected_write_fault_leaves_no_file(self, collection, tmp_path):
+        injector = FaultInjector(FaultPlan.parse("dataset.write:io_error"))
+        path = tmp_path / "table.spill"
+        with pytest.raises(Exception):
+            write_spill(collection.table, path, injector)
+        assert not path.exists()
+        assert not list(tmp_path.iterdir())  # no temp file debris either
+
+    def test_injected_read_corruption_raises(self, collection, tmp_path):
+        path = tmp_path / "table.spill"
+        write_spill(collection.table, path)
+        injector = FaultInjector(FaultPlan.parse("dataset.read:corrupt"))
+        with pytest.raises(SpillError):
+            SpillFile.open(path, injector)
+
+
+# ---------------------------------------------------------------------------
+# shard plans
+# ---------------------------------------------------------------------------
+
+
+class TestShardPlans:
+    def test_generation_shards_partition_the_total(self):
+        cfg = SyntheticConfig(n_certificates=5000, seed=3)
+        for by in ("by-district", "by-zip", 7):
+            recipes = plan_generation_shards(cfg, by)
+            assert sum(r.n_certificates for r in recipes) == 5000
+            assert len({r.key for r in recipes}) == len(recipes)
+
+    def test_shard_bytes_independent_of_siblings(self):
+        """Shard N's bytes are identical whether generated alone or in a
+        full sweep — the property that makes shard-granular caching
+        sound."""
+        cfg = SyntheticConfig(n_certificates=2000, seed=5)
+        recipes = plan_generation_shards(cfg, "by-district")
+        alone = generate_epc_shard(cfg, recipes[2])
+        in_sweep = [generate_epc_shard(cfg, r) for r in recipes]
+        assert in_sweep[2].table == alone.table
+        merged = merge_epc_collections(in_sweep)
+        assert merged.table.n_rows == 2000
+        ids = list(merged.table["certificate_id"])
+        assert len(set(ids)) == len(ids)  # globally unique across shards
+
+    def test_unknown_scheme_rejected(self, collection):
+        with pytest.raises(ValueError):
+            plan_generation_shards(SyntheticConfig(), "by-planet")
+        with pytest.raises(ValueError):
+            ShardPlan.from_collection(collection, "by-planet")
+
+    def test_partition_covers_every_row_once(self, collection):
+        for by in ("by-district", "by-zip", 5):
+            plan = ShardPlan.from_collection(collection, by)
+            rows = np.concatenate([s.original_rows() for s in plan.shards])
+            assert len(rows) == collection.table.n_rows
+            assert len(np.unique(rows)) == len(rows)
+            assert plan.merged_input_table() == collection.table
+
+    def test_per_shard_noise_is_keyed_and_stable(self):
+        plan = ShardPlan.from_generator(
+            SyntheticConfig(n_certificates=1000, seed=2), 4,
+            noise=NoiseConfig(seed=9),
+        )
+        a = plan._shard_noise("part:00")
+        b = plan._shard_noise("part:00")
+        c = plan._shard_noise("part:01")
+        assert a == b
+        assert a.seed != c.seed
+
+    def test_runner_rejects_foreign_collection(self, collection):
+        plan = ShardPlan.from_collection(collection, 2)
+        other = _dirty_collection(n=400, seed=99)
+        with pytest.raises(ValueError):
+            ShardRunner(Indice(other, _config()), plan)
+
+
+# ---------------------------------------------------------------------------
+# merge equivalence (the tier's core property)
+# ---------------------------------------------------------------------------
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("by", [1, 4, 17, "by-district", "by-zip"])
+    def test_any_partitioning_merges_bit_identical(
+        self, collection, monolithic, by, tmp_path
+    ):
+        plan = ShardPlan.from_collection(collection, by)
+        config = _config(spill_dir=str(tmp_path / "spills"))
+        engine = Indice(plan.collection, config)
+        outcome = engine.run_sharded(plan)
+        pre, analytics = monolithic
+        assert outcome.preprocessing.table == pre.table
+        assert outcome.analytics.table == analytics.table
+        assert outcome.analytics.rules == analytics.rules
+        assert (
+            outcome.analytics.clustering.chosen_k == analytics.clustering.chosen_k
+        )
+
+    def test_generator_mode_matches_monolithic_over_merged_input(self, tmp_path):
+        synth = SyntheticConfig(n_certificates=1200, seed=23)
+        plan = ShardPlan.from_generator(
+            synth, "by-district", noise=NoiseConfig(seed=31)
+        )
+        config = _config(spill_dir=str(tmp_path / "spills"))
+        outcome = Indice(plan.collection, config).run_sharded(plan)
+
+        merged_input = plan.merged_input_table()
+        mono_coll = dataclasses.replace(plan.collection, table=merged_input)
+        engine = Indice(mono_coll, _config())
+        pre = engine.preprocess()
+        analytics = engine.analyze()
+        assert outcome.preprocessing.table == pre.table
+        assert outcome.analytics.table == analytics.table
+
+    def test_narrow_columns_keep_analytics_identical(
+        self, collection, monolithic, tmp_path
+    ):
+        """A narrow merge projection bounds memory without changing any
+        analytic output (the million-row configuration)."""
+        cfg = IndiceConfig()
+        columns = tuple(
+            dict.fromkeys(
+                list(cfg.features)
+                + [cfg.response, "city", "building_type", "district",
+                   "neighbourhood", "latitude", "longitude",
+                   "certificate_year"]
+            )
+        )
+        plan = ShardPlan.from_collection(collection, 4, columns=columns)
+        config = _config(spill_dir=str(tmp_path / "spills"))
+        outcome = Indice(plan.collection, config).run_sharded(plan)
+        __, analytics = monolithic
+        assert outcome.preprocessing.table.column_names == list(columns)
+        assert outcome.analytics.clustering.chosen_k == analytics.clustering.chosen_k
+        assert outcome.analytics.rules == analytics.rules
+        for name in columns:
+            assert outcome.analytics.table.column(name) == analytics.table.column(name)
+
+
+# ---------------------------------------------------------------------------
+# chaos: retries must never duplicate or drop rows
+# ---------------------------------------------------------------------------
+
+
+class TestShardedChaos:
+    def _run(self, collection, tmp_path, spec=None, **config):
+        injector = FaultInjector(FaultPlan.parse(spec)) if spec else None
+        plan = ShardPlan.from_collection(collection, "by-district")
+        cfg = _config(spill_dir=str(tmp_path), **config)
+        engine = Indice(plan.collection, cfg, injector=injector)
+        return engine, engine.run_sharded(plan)
+
+    def test_worker_crash_recovers_bit_identical(self, collection, tmp_path):
+        __, baseline = self._run(collection, tmp_path / "a")
+        engine, chaotic = self._run(
+            collection, tmp_path / "b",
+            spec="parallel.worker:crash@0.5;seed=7", n_jobs=2,
+        )
+        assert chaotic.preprocessing.table == baseline.preprocessing.table
+        assert chaotic.analytics.table == baseline.analytics.table
+
+    def test_spill_write_fault_retries_without_dup_or_drop(
+        self, collection, tmp_path
+    ):
+        __, baseline = self._run(collection, tmp_path / "a")
+        engine, chaotic = self._run(
+            collection, tmp_path / "b",
+            spec="dataset.write:transient*2;seed=11",
+        )
+        ids = list(chaotic.preprocessing.table["certificate_id"])
+        assert len(set(ids)) == len(ids)  # a retried spill never duplicates
+        assert chaotic.preprocessing.table == baseline.preprocessing.table
+        assert chaotic.analytics.table == baseline.analytics.table
+
+    def test_corrupt_warm_spill_degrades_to_recompute(self, collection, tmp_path):
+        cache = StageCache()
+        plan = ShardPlan.from_collection(collection, "by-district")
+        cfg = _config(spill_dir=str(tmp_path), stage_cache=True)
+        engine = Indice(plan.collection, cfg, cache=cache)
+        baseline = engine.run_sharded(plan)
+        assert cache.shard_misses == len(plan.shards)
+
+        # corrupt one spill on disk, then re-run warm: the bad shard must
+        # be recomputed (a miss), never served wrong
+        victim = sorted(tmp_path.glob("*.spill"))[0]
+        data = bytearray(victim.read_bytes())
+        data[-10] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        engine2 = Indice(plan.collection, cfg, cache=cache)
+        warm = engine2.run_sharded(plan)
+        assert cache.shard_misses == len(plan.shards) + 1
+        assert cache.shard_hits == len(plan.shards) - 1
+        assert warm.preprocessing.table == baseline.preprocessing.table
+
+
+# ---------------------------------------------------------------------------
+# shard-granular caching
+# ---------------------------------------------------------------------------
+
+
+class TestShardCache:
+    def test_warm_run_hits_every_shard(self, collection, tmp_path):
+        cache = StageCache()
+        plan = ShardPlan.from_collection(collection, "by-district")
+        cfg = _config(spill_dir=str(tmp_path), stage_cache=True)
+        first = Indice(plan.collection, cfg, cache=cache).run_sharded(plan)
+        assert cache.shard_hits == 0
+        assert cache.shard_misses == len(plan.shards)
+        warm = Indice(plan.collection, cfg, cache=cache).run_sharded(plan)
+        assert cache.shard_hits == len(plan.shards)
+        assert warm.preprocessing.table == first.preprocessing.table
+        assert all(s.cache_hit for s in warm.shard_stats)
+
+    def test_editing_one_district_rerurns_one_shard(self, collection, tmp_path):
+        cache = StageCache()
+        plan = ShardPlan.from_collection(collection, "by-district")
+        cfg = _config(spill_dir=str(tmp_path), stage_cache=True)
+        Indice(plan.collection, cfg, cache=cache).run_sharded(plan)
+        misses_cold = cache.shard_misses
+
+        # dirty exactly one row of one district's shard
+        table = collection.table
+        eph = table.column("eph").values.copy()
+        district = table.column("district").values
+        victim_district = next(d for d in district if d is not None)
+        victim_row = int(np.flatnonzero(district == victim_district)[0])
+        eph[victim_row] = eph[victim_row] + 1.0 if not np.isnan(eph[victim_row]) else 1.0
+        from repro.dataset.table import Column, ColumnKind
+
+        dirty_table = table.with_column(
+            Column("eph", ColumnKind.NUMERIC, eph)
+        ).select(table.column_names)
+        dirty_coll = dataclasses.replace(collection, table=dirty_table)
+        plan2 = ShardPlan.from_collection(dirty_coll, "by-district")
+        engine = Indice(plan2.collection, cfg, cache=cache)
+        outcome = engine.run_sharded(plan2)
+        assert cache.shard_misses == misses_cold + 1  # only the edited shard
+        assert cache.shard_hits == len(plan2.shards) - 1
+        recomputed = [s for s in outcome.shard_stats if not s.cache_hit]
+        assert [s.key for s in recomputed] == [f"district:{victim_district}"]
+
+    def test_degraded_shard_never_cached(self, collection, tmp_path):
+        # a binding quota degrades cleaning: that shard must not be cached
+        cache = StageCache()
+        plan = ShardPlan.from_collection(collection, "by-district")
+        cfg = _config(
+            spill_dir=str(tmp_path), stage_cache=True, geocoder_quota=0
+        )
+        Indice(plan.collection, cfg, cache=cache).run_sharded(plan)
+        first_misses = cache.shard_misses
+        assert first_misses == len(plan.shards)
+        Indice(plan.collection, cfg, cache=cache).run_sharded(plan)
+        # every degraded shard misses again on the warm run
+        assert cache.shard_misses > first_misses
+
+    def test_provenance_exposes_shard_counters(self, collection, tmp_path):
+        cache = StageCache()
+        plan = ShardPlan.from_collection(collection, 3)
+        cfg = _config(spill_dir=str(tmp_path), stage_cache=True)
+        engine = Indice(plan.collection, cfg, cache=cache)
+        engine.run_sharded(plan)
+        steps = [s for s in engine.log.steps if s.stage == "sharding"]
+        actions = [s.action for s in steps]
+        assert "plan" in actions
+        assert actions.count("shard_transform") == len(plan.shards)
+        counter_steps = [s for s in steps if s.action == "shard_cache"]
+        assert counter_steps[-1].detail["misses"] == len(plan.shards)
+        assert "merge" in actions
