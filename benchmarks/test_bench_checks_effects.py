@@ -1,0 +1,172 @@
+"""A17 — the effect sweep and the runtime audit price in.
+
+Three budgets keep the effect tier honest:
+
+* a cold full-tree sweep restricted to the four effect rules
+  (CACHE002/DET004/FAULT002/PURE001) stays under 5 s — per-function
+  effect extraction rides the same single AST walk as every other fact;
+* a warm run with a full analysis cache stays under 100 ms — the
+  interprocedural :class:`EffectModel` fixpoint is rebuilt from cached
+  facts (set unions over a worklist), never from re-parsed ASTs;
+* the runtime effect audit adds **under 10%** wall clock to the real
+  8000-certificate pipeline — the proxies are attribute lookups plus a
+  thread-local stack peek, so an audited production run stays cheap
+  enough to leave on.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import write_report
+
+import repro
+from repro import Indice, IndiceConfig
+from repro.checks import AnalysisCache, Checker, analysis_fingerprint
+from repro.checks import effectaudit
+from repro.checks.model import all_rules
+from repro.dataset import (
+    NoiseConfig,
+    SyntheticConfig,
+    apply_noise,
+    generate_epc_collection,
+)
+
+ROUNDS = 3
+MAX_COLD_S = 5.0
+MAX_WARM_S = 0.1
+MAX_AUDIT_OVERHEAD = 0.10
+#: absolute slack so a ~5 s pipeline's scheduler jitter cannot flake the gate
+AUDIT_SLACK_S = 0.25
+CODES = ("CACHE002", "DET004", "FAULT002", "PURE001")
+PIPELINE_N = 8000
+SRC = Path(repro.__file__).parent
+
+
+def _rules():
+    return [rule for rule in all_rules() if rule.code in CODES]
+
+
+def _sweep(cache_path):
+    """``(elapsed_seconds, result)`` for one effects-only sweep."""
+    rules = _rules()
+    checker = Checker(
+        rules=rules,
+        cache=AnalysisCache(cache_path, analysis_fingerprint(rules)),
+    )
+    start = time.perf_counter()
+    result = checker.run([SRC])
+    return time.perf_counter() - start, result
+
+
+def _pipeline_seconds():
+    """Wall clock of one preprocess+analyze over the 8000-cert collection."""
+    collection = generate_epc_collection(
+        SyntheticConfig(n_certificates=PIPELINE_N, seed=17)
+    )
+    noisy = apply_noise(collection, NoiseConfig(seed=18))
+    collection.table = noisy.table
+    engine = Indice(collection, IndiceConfig(kmeans_n_init=2, k_range=(2, 4)))
+    start = time.perf_counter()
+    engine.preprocess()
+    engine.analyze()
+    return time.perf_counter() - start
+
+
+def test_a17_effects_sweep_and_audit_budgets(benchmark, tmp_path):
+    assert len(_rules()) == len(CODES)
+    cache_path = tmp_path / "checks-effects-cache.json"
+
+    cold_s, cold = _sweep(cache_path)
+    # the tree the benchmark prices must also be the tree the rules prove
+    assert cold.ok, [f.render() for f in cold.findings]
+    assert cold.n_from_cache == 0
+    assert cold_s <= MAX_COLD_S, f"cold effects sweep took {cold_s:.2f}s"
+
+    warm_times = []
+    warm = None
+    for __ in range(ROUNDS):
+        elapsed, warm = _sweep(cache_path)
+        warm_times.append(elapsed)
+    best_warm = min(warm_times)
+    assert warm.n_from_cache == warm.n_files == cold.n_files
+    assert warm.findings == cold.findings
+    assert best_warm <= MAX_WARM_S, (
+        f"warm effects sweep took {best_warm * 1000:.0f}ms over "
+        f"{warm.n_files} files with a full cache — budget is "
+        f"{MAX_WARM_S * 1000:.0f}ms"
+    )
+
+    # -- audit overhead on the real pipeline --------------------------------
+    assert not effectaudit.enabled()
+    baseline_s = min(_pipeline_seconds() for __ in range(2))
+    os.environ[effectaudit.ENV_FLAG] = "1"
+    try:
+        effectaudit.DEFAULT.reset()
+        audited_s = min(_pipeline_seconds() for __ in range(2))
+        observed = {
+            name: sorted(tokens)
+            for name, tokens in effectaudit.DEFAULT.observed.items()
+        }
+    finally:
+        del os.environ[effectaudit.ENV_FLAG]
+        effectaudit.DEFAULT.uninstall()
+    assert set(observed) == {"preprocess", "analyze"}
+    overhead = (audited_s - baseline_s) / baseline_s
+    assert audited_s <= baseline_s * (1 + MAX_AUDIT_OVERHEAD) + AUDIT_SLACK_S, (
+        f"audited pipeline took {audited_s:.2f}s vs {baseline_s:.2f}s "
+        f"baseline ({overhead:+.1%}) — budget is {MAX_AUDIT_OVERHEAD:.0%}"
+    )
+
+    benchmark.pedantic(lambda: _sweep(cache_path), rounds=1, iterations=1)
+
+    speedup = cold_s / best_warm if best_warm > 0 else float("inf")
+    payload = {
+        "experiment": "A17_checks_effects",
+        "files": cold.n_files,
+        "rules": list(CODES),
+        "rounds": ROUNDS,
+        "cold_sweep_seconds": round(cold_s, 4),
+        "best_warm_seconds": round(best_warm, 4),
+        "speedup": round(speedup, 1),
+        "cold_budget_seconds": MAX_COLD_S,
+        "warm_budget_seconds": MAX_WARM_S,
+        "findings": len(warm.findings),
+        "suppressed": warm.n_suppressed,
+        "pipeline_certificates": PIPELINE_N,
+        "pipeline_baseline_seconds": round(baseline_s, 3),
+        "pipeline_audited_seconds": round(audited_s, 3),
+        "audit_overhead": round(overhead, 4),
+        "audit_overhead_budget": MAX_AUDIT_OVERHEAD,
+        "observed_effects": observed,
+    }
+    out = Path(__file__).parent / "results" / "BENCH_checks_effects.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    write_report(
+        "A17_checks_effects",
+        [
+            f"A17 — effect & purity sweep ({cold.n_files} files, rules "
+            f"{', '.join(CODES)}, best warm of {ROUNDS}) + runtime audit",
+            "",
+            f"cold sweep       {cold_s:.3f} s  (budget {MAX_COLD_S:.0f} s)",
+            f"warm sweep       {best_warm * 1000:.0f} ms  "
+            f"(budget {MAX_WARM_S * 1000:.0f} ms)",
+            f"speedup          {speedup:.1f}x  "
+            f"({warm.n_from_cache}/{warm.n_files} files from cache)",
+            f"findings         {len(warm.findings)} unsuppressed "
+            f"({warm.n_suppressed} pragma-suppressed)",
+            "",
+            f"pipeline ({PIPELINE_N} certs)  baseline {baseline_s:.2f} s, "
+            f"audited {audited_s:.2f} s ({overhead:+.1%}, "
+            f"budget {MAX_AUDIT_OVERHEAD:.0%})",
+            "",
+            "per-function effect summaries ride the shared fact walk; warm",
+            "sweeps rebuild the interprocedural fixpoint from cached facts",
+            "(set unions over a worklist) without re-parsing anything, and",
+            "the runtime proxies are attribute forwards plus one",
+            "thread-local stack peek per ambient read.",
+        ],
+    )

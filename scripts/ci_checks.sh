@@ -38,6 +38,20 @@ python -m repro.checks src/repro \
     --select LOCK002,LOCK003,LOCK004,SEM001 \
     --cache .repro-cache/checks-concurrency.json
 
+# the effect/purity sweep must come back empty too: a cached stage or
+# render reading un-fingerprinted state, taint reaching a serialized
+# sink, a non-idempotent retry or an impure pool worker fails CI
+python -m repro.checks src/repro \
+    --select CACHE002,DET004,FAULT002,PURE001 \
+    --cache .repro-cache/checks-effects.json
+
+# the dynamic half of the same contract: the real pipeline runs with the
+# effect auditor armed — an un-fingerprinted os.environ read inside a
+# cached stage or render raises at the read site — and the observed
+# effect sets are cross-checked against the static summaries
+REPRO_AUDIT_EFFECTS=1 timeout 300 python -m pytest \
+    tests/test_effectaudit.py -q
+
 # sharded-tier smoke at a CI-budgeted 100k certificates: a cold
 # by-district run must beat the wall-clock budget, and a warm re-run
 # after invalidating one shard must reuse every other shard (the full

@@ -47,13 +47,26 @@ LOCK004    blocking-call-under-lock     concurrency: no IO/sleep/render while
                                         holding a lock (latency convoy)
 SEM001     semaphore-imbalance          concurrency: acquire/release balance on
                                         every early return
+CACHE002   unfingerprinted-cache-read   effects: a cached stage or render never
+                                        reads state its key did not fingerprint
+DET004     tainted-serialized-sink      effects: no clock/RNG/set-order taint
+                                        reaches a serialized sink interprocedurally
+FAULT002   non-idempotent-retry         effects: retried callables are replay-safe
+                                        (no appends or global writes)
+PURE001    impure-worker                effects: pool workers return values, never
+                                        write state across a module boundary
 =========  ===========================  =========================================
 
 The static story has a dynamic twin: :mod:`.lockdep` wraps the serving
 tier's real locks (``REPRO_SANITIZE_LOCKS=1`` or ``repro serve
 --sanitize-locks``) and raises on the first *attempted* lock-order
 inversion or fork-while-held at runtime — the observed order graph
-cross-checks what LOCK002 proved statically.
+cross-checks what LOCK002 proved statically.  The effect rules have the
+same twin: :mod:`.effectaudit` (``REPRO_AUDIT_EFFECTS=1`` or ``repro run
+--audit-effects``) records every ambient read inside the cached-stage
+and render regions, raises on the first un-fingerprinted ``os.environ``
+read, and the recorded sets are asserted to be a subset of what the
+:class:`~repro.checks.effects.EffectModel` summarized statically.
 
 Run it with ``python -m repro.checks src/repro`` (or ``repro check``);
 suppress an intentional site with ``# repro: noqa[RULE] — justification``.
@@ -65,6 +78,8 @@ from .cache import AnalysisCache, analysis_fingerprint
 from .checker import Checker, CheckResult, check_tree, collect_python_files
 from .cli import main
 from .concurrency import ConcurrencyModel, extract_concurrency
+from .effectaudit import EffectAudit, EffectAuditError
+from .effects import EffectModel, extract_effects
 from .lockdep import LockDep, LockOrderError, SanitizedLock
 from .model import Finding, Rule, SourceFile, all_rules, register, rule_codes
 from .pragmas import PragmaIndex, parse_pragmas
@@ -77,6 +92,9 @@ __all__ = [
     "Checker",
     "CheckResult",
     "ConcurrencyModel",
+    "EffectAudit",
+    "EffectAuditError",
+    "EffectModel",
     "FileSummary",
     "Finding",
     "LockDep",
@@ -91,6 +109,7 @@ __all__ = [
     "check_tree",
     "collect_python_files",
     "extract_concurrency",
+    "extract_effects",
     "extract_facts",
     "main",
     "module_name_for",

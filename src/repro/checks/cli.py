@@ -129,12 +129,34 @@ def _fixture_pair(code: str) -> list[tuple[str, Path]]:
 
 
 def _explain_rule(code: str, out: TextIO) -> None:
-    """Print one rule's doc, rationale and fixture pair (or UsageError)."""
+    """Print one rule's doc, rationale and fixture pair (or UsageError).
+
+    Lookup is forgiving: codes match case-insensitively, and a unique
+    prefix works too (``--explain lock004``, ``--explain cache``).  An
+    ambiguous prefix or an unknown code raises :class:`UsageError`
+    naming the candidates — with near-miss suggestions for typos.
+    """
     wanted = code.strip().upper()
-    rule = next((r for r in all_rules() if r.code == wanted), None)
+    rules = list(all_rules())
+    rule = next((r for r in rules if r.code == wanted), None)
+    if rule is None and wanted:
+        by_prefix = [r for r in rules if r.code.startswith(wanted)]
+        if len(by_prefix) == 1:
+            rule = by_prefix[0]
+        elif len(by_prefix) > 1:
+            raise UsageError(
+                f"ambiguous rule prefix: {code} matches "
+                f"{', '.join(r.code for r in by_prefix)}"
+            )
     if rule is None:
-        known = ", ".join(r.code for r in all_rules())
-        raise UsageError(f"unknown rule code: {code} (valid: {known})")
+        import difflib
+
+        known = [r.code for r in rules]
+        close = difflib.get_close_matches(wanted, known, n=3, cutoff=0.5)
+        hint = f" — did you mean {', '.join(close)}?" if close else ""
+        raise UsageError(
+            f"unknown rule code: {code}{hint} (valid: {', '.join(known)})"
+        )
     out.write(f"{rule.code} — {rule.name}\n")
     doc = (type(rule).__doc__ or "").strip()
     if doc:
@@ -154,16 +176,35 @@ def _explain_rule(code: str, out: TextIO) -> None:
 
 
 def _select_rules(spec: str) -> list:
-    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
-    rules = [rule for rule in all_rules() if rule.code in wanted]
-    known = {rule.code for rule in all_rules()}
-    unknown = sorted(wanted - known)
+    """Rules named by a comma-separated spec; each entry may be a glob.
+
+    ``--select LOCK001,DET002`` names codes exactly; ``--select 'LOCK*'``
+    or ``--select '*002'`` selects by ``fnmatch`` pattern.  An entry that
+    matches nothing — literal or pattern — is a :class:`UsageError`
+    listing the valid codes, so a typo never silently runs zero rules.
+    """
+    import fnmatch
+
+    known = {rule.code: rule for rule in all_rules()}
+    selected: dict[str, object] = {}
+    unknown: list[str] = []
+    for entry in spec.split(","):
+        pattern = entry.strip().upper()
+        if not pattern:
+            continue
+        hits = fnmatch.filter(known, pattern)
+        if not hits:
+            unknown.append(entry.strip())
+            continue
+        for code in hits:
+            selected[code] = known[code]
     if unknown:
         raise UsageError(
-            f"unknown rule code(s): {', '.join(unknown)} "
+            f"unknown rule code(s) or pattern(s): {', '.join(unknown)} "
             f"(valid: {', '.join(sorted(known))})"
         )
-    return rules
+    # registry order, so output ordering matches the full-sweep default
+    return [rule for code, rule in known.items() if code in selected]
 
 
 def _changed_files() -> set[Path]:

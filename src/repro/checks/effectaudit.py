@@ -1,0 +1,346 @@
+"""Runtime effect auditor — the dynamic half of the effect rules.
+
+The static analyzer (:mod:`.effects`, CACHE002/DET004) proves over the
+*code* that no cached stage or artifact render depends on state missing
+from its cache key.  This module proves the same contract over an actual
+*run*: under ``REPRO_AUDIT_EFFECTS=1`` (or ``repro run
+--audit-effects``, which sets it) the process-level ambient inputs —
+``os.environ``, the wall clock, the global ``random`` generator — are
+wrapped with recording proxies, and the cached-stage and render regions
+(``Indice.preprocess``/``analyze``, ``ArtifactStore.get``) declare
+themselves on a per-thread region stack.  Every ambient read observed
+inside a region lands in that region's observed effect set, and an
+``os.environ`` read of a key that is not an allowlisted instrumentation
+flag raises :class:`EffectAuditError` at the read site, deterministically,
+on the *first* offending access — the dynamic shadow of CACHE002, with
+no need for the cache hit that would later replay the stale value.
+
+The observed sets are the ground truth the static model is checked
+against: a test runs the real pipeline audited and asserts every
+observed effect *category* appears in the static
+:class:`~repro.checks.effects.EffectModel` summary of the matching root
+(observed ⊆ static) — an unsound summary would show up as an observed
+effect the model missed.  Everything is opt-in and mirrors
+:mod:`.lockdep`: production code pays nothing unless the flag (or an
+explicit :class:`EffectAudit` instance) arms the instrumentation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import os
+import random
+import threading
+import time
+from collections.abc import MutableMapping
+
+from .effects import INSTRUMENTATION_ENV
+
+__all__ = [
+    "ENV_FLAG",
+    "EffectAudit",
+    "EffectAuditError",
+    "audited",
+    "enabled",
+    "region",
+    "resolve",
+]
+
+#: Environment flag that arms the shared default auditor.
+ENV_FLAG = "REPRO_AUDIT_EFFECTS"
+
+
+def enabled() -> bool:
+    """True when the environment opts into effect auditing."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+class EffectAuditError(RuntimeError):
+    """An un-fingerprinted ambient read inside an audited region."""
+
+
+def categories(tokens) -> set[str]:
+    """The effect categories of ``category:detail`` tokens."""
+    return {token.partition(":")[0] for token in tokens}
+
+
+class _AuditedEnviron(MutableMapping):
+    """``os.environ`` stand-in reporting reads to an :class:`EffectAudit`.
+
+    Writes pass straight through (and are recorded): mutating the
+    environment inside a region is FAULT002/PURE001 territory, not a
+    cache-soundness violation.  Reads of non-instrumentation keys inside
+    a region raise — a cached stage just consumed state its key never
+    fingerprinted.
+    """
+
+    def __init__(self, inner, audit: "EffectAudit"):
+        self._inner = inner
+        self._audit = audit
+
+    # -- reads (recorded, possibly raising) ---------------------------------
+
+    def __getitem__(self, key):
+        self._audit.record_env_read(key)
+        return self._inner[key]
+
+    def get(self, key, default=None):
+        """Recorded twin of ``os.environ.get`` (the hot read path)."""
+        self._audit.record_env_read(key)
+        return self._inner.get(key, default)
+
+    def __contains__(self, key):
+        self._audit.record_env_read(key)
+        return key in self._inner
+
+    def __iter__(self):
+        self._audit.record_env_read("*")
+        return iter(self._inner)
+
+    def __len__(self):
+        return len(self._inner)
+
+    # -- writes (recorded, never raising) -----------------------------------
+
+    def __setitem__(self, key, value):
+        self._audit.record(f"env_write:{key}")
+        self._inner[key] = value
+
+    def __delitem__(self, key):
+        self._audit.record(f"env_write:{key}")
+        del self._inner[key]
+
+    def __getattr__(self, attr):
+        return getattr(self._inner, attr)
+
+
+#: module-level patch owner: only one audit may hold the proxies.
+_active: "EffectAudit | None" = None
+_active_lock = threading.Lock()
+
+
+class EffectAudit:
+    """Per-region observed effect sets + the ambient-input proxies.
+
+    One instance owns the process-wide patches while installed; regions
+    are tracked per thread, so concurrent renders attribute their reads
+    to their own region (the innermost one on the calling thread).
+    """
+
+    def __init__(self, name: str = "effectaudit"):
+        self.name = name
+        self._state_lock = threading.Lock()
+        #: region name -> observed ``category:detail`` tokens.
+        self.observed: dict[str, set[str]] = {}
+        #: violations recorded before raising (stable for harness asserts).
+        self.violations: list[str] = []
+        self._local = threading.local()
+        self._saved: dict[str, object] = {}
+
+    # -- per-thread region stack --------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def active_region(self) -> str | None:
+        """The innermost audited region on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def enter(self, name: str) -> None:
+        """Open an audited region on this thread (installs the proxies)."""
+        self.install()
+        self._stack().append(name)
+        with self._state_lock:
+            self.observed.setdefault(name, set())
+
+    def exit(self, name: str) -> None:
+        """Close the innermost holding of *name* on this thread."""
+        stack = self._stack()
+        for position in range(len(stack) - 1, -1, -1):
+            if stack[position] == name:
+                del stack[position]
+                return
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, token: str) -> None:
+        """Attribute *token* to the calling thread's innermost region."""
+        name = self.active_region()
+        if name is None:
+            return
+        with self._state_lock:
+            self.observed.setdefault(name, set()).add(token)
+
+    def record_env_read(self, key: str) -> None:
+        """Record an environment read; raise if it is un-fingerprinted.
+
+        Instrumentation flags (the sanitizer/auditor's own switches) are
+        behaviour-neutral by contract and allowlisted — everything else
+        read inside a cached region is state the cache key never saw.
+        """
+        name = self.active_region()
+        if name is None:
+            return
+        self.record(f"env_read:{key}")
+        if key in INSTRUMENTATION_ENV:
+            return
+        message = (
+            f"[{self.name}] un-fingerprinted os.environ read of {key!r} "
+            f"inside audited region '{name}': a cache hit would replay a "
+            "result computed under a different environment"
+        )
+        with self._state_lock:
+            self.violations.append(message)
+        raise EffectAuditError(message)
+
+    # -- cross-check against the static model --------------------------------
+
+    def observed_categories(self, name: str) -> set[str]:
+        """Effect categories observed inside region *name*."""
+        with self._state_lock:
+            return categories(self.observed.get(name, ()))
+
+    def assert_subset_of(self, name: str, static_tokens) -> None:
+        """Raise unless observed categories ⊆ the static summary's.
+
+        The comparison is at category level: the static summary
+        qualifies details differently (``global_read:module.NAME``) than
+        the runtime can observe, but a whole *category* the model missed
+        is an unsound summary.
+        """
+        extra = self.observed_categories(name) - categories(static_tokens)
+        if extra:
+            raise EffectAuditError(
+                f"[{self.name}] region '{name}' observed effect "
+                f"categories {sorted(extra)} absent from its static "
+                "summary: the effect model is unsound for this root"
+            )
+
+    def describe(self) -> str:
+        """One human line per audited region, stable order."""
+        with self._state_lock:
+            lines = [
+                f"{name}: {', '.join(sorted(tokens)) or '(pure)'}"
+                for name, tokens in sorted(self.observed.items())
+            ]
+        return "\n".join(lines) or "(no audited regions ran)"
+
+    def reset(self) -> None:
+        """Drop observed state (patches stay; regions are per-thread)."""
+        with self._state_lock:
+            self.observed.clear()
+            self.violations.clear()
+
+    # -- patch management ----------------------------------------------------
+
+    def install(self) -> None:
+        """Take ownership of the ambient-input proxies (idempotent)."""
+        global _active
+        with _active_lock:
+            if _active is self:
+                return
+            if _active is not None:
+                raise EffectAuditError(
+                    f"[{self.name}] cannot install: audit "
+                    f"'{_active.name}' already owns the instrumentation"
+                )
+            self._saved = {
+                "environ": os.environ,
+                "getenv": os.getenv,
+                "time": time.time,
+                "time_ns": time.time_ns,
+                "random": random.random,
+            }
+            proxy = _AuditedEnviron(os.environ, self)
+            os.environ = proxy
+
+            def audited_getenv(key, default=None, _proxy=proxy):
+                return _proxy.get(key, default)
+
+            os.getenv = audited_getenv
+
+            def make_clock(original, token):
+                @functools.wraps(original)
+                def wrapper(*args, **kwargs):
+                    self.record(token)
+                    return original(*args, **kwargs)
+                return wrapper
+
+            time.time = make_clock(self._saved["time"], "clock:time.time")
+            time.time_ns = make_clock(
+                self._saved["time_ns"], "clock:time.time_ns"
+            )
+            random.random = make_clock(
+                self._saved["random"], "rng:random.random"
+            )
+            _active = self
+
+    def uninstall(self) -> None:
+        """Restore the original ambient inputs (no-op if not installed)."""
+        global _active
+        with _active_lock:
+            if _active is not self:
+                return
+            os.environ = self._saved["environ"]
+            os.getenv = self._saved["getenv"]
+            time.time = self._saved["time"]
+            time.time_ns = self._saved["time_ns"]
+            random.random = self._saved["random"]
+            self._saved = {}
+            _active = None
+
+
+#: The process-wide auditor the env flag arms.
+DEFAULT = EffectAudit("default")
+
+
+def resolve(audit: "EffectAudit | None") -> "EffectAudit | None":
+    """The auditor to use: an explicit one, else the armed default.
+
+    Instrumentation sites thread their ``effectaudit=`` parameter through
+    here so an explicit instance (tests) always wins, the shared
+    :data:`DEFAULT` is used when :func:`enabled`, and otherwise the
+    region is free (no proxies, no recording).
+    """
+    if audit is not None:
+        return audit
+    if enabled():
+        return DEFAULT
+    return None
+
+
+@contextlib.contextmanager
+def region(audit: "EffectAudit | None", name: str):
+    """Audited-region context: a no-op when *audit* is None."""
+    if audit is None:
+        yield
+        return
+    audit.enter(name)
+    try:
+        yield
+    finally:
+        audit.exit(name)
+
+
+def audited(stage: str):
+    """Decorator: run the function as an audited region named *stage*.
+
+    Resolution happens per call, so decorating a cached stage costs one
+    env lookup when auditing is off — the decorated body never pays for
+    instrumentation it did not opt into.
+    """
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            audit = resolve(None)
+            if audit is None:
+                return func(*args, **kwargs)
+            with region(audit, stage):
+                return func(*args, **kwargs)
+        return wrapper
+    return decorate

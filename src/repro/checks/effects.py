@@ -1,0 +1,856 @@
+"""Per-function effect summaries and the interprocedural effect model.
+
+The DET/CACHE rules up to PR 9 are per-file and syntactic; the cache
+layers added since (stage entries, the post-merge memo, artifact
+renders) fail *interprocedurally*: a cached stage is unsound because a
+helper three calls away reads ``os.environ``, not because the stage
+body does.  This module adds whole-program effect inference in the same
+two-layer shape as :mod:`.concurrency`:
+
+1. :func:`extract_effects` walks one parsed file and distils a plain
+   JSON-serializable dict of effect facts per function: ``os.environ``
+   reads/writes (with the key when it is a literal or a module string
+   constant), wall-clock and entropy/RNG calls, filesystem IO split by
+   mode (read / write / append), socket IO, reads and writes of
+   *mutable* module globals, mutation of parameters, plus the raw
+   material the rules resolve later — outgoing call tokens, serialized
+   sinks with their argument tokens, ``retry_with_backoff`` regions,
+   return-value taint, and cache roots (``StageCache.key`` callers and
+   ``ArtifactStore`` constructors).  Lambdas and nested defs are folded
+   into their enclosing function (``build_store``'s renderer closures
+   *are* the render effect), except that their ``return`` statements
+   never count as the encloser's.  Facts hold no AST nodes, so they
+   cache per content hash like every other fact family.
+2. :class:`EffectModel` aggregates the facts of a whole
+   :class:`~repro.checks.project.ProjectIndex`: call tokens are
+   resolved through the index's import bindings (the one-call-deep
+   machinery of :class:`~repro.checks.concurrency.ConcurrencyModel`,
+   extended to *iterate*), and per-function summaries are propagated to
+   a fixpoint over the resulting call graph, keeping the originating
+   function of every effect for the rule messages.  Unresolvable calls
+   (attribute chains through instance state, dynamic dispatch)
+   contribute nothing — the same pragmatic soundness boundary the
+   concurrency model draws.
+
+Identities are ``module:qual`` where ``qual`` is ``name`` for
+module-level functions and ``Class.method`` for methods.  Effect tokens
+are ``category:detail`` strings (``env_read:EPC_MODE``,
+``clock:time.time``, ``global_write:repro.x._CACHE``); rules match on
+the category and print the detail.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .imports import ImportTable
+
+# NOTE: annotations naming ProjectIndex stay strings — importing
+# .project here (even under TYPE_CHECKING) closes an import cycle,
+# because project.extract_facts calls extract_effects.  The DET001/
+# DET002 call lists are duplicated from rules.determinism for the same
+# reason (importing any rules module executes the whole rule registry).
+
+__all__ = [
+    "EffectModel",
+    "INSTRUMENTATION_ENV",
+    "extract_effects",
+]
+
+#: Environment keys that arm behaviour-neutral observers (the lock
+#: sanitizer, the effect audit itself).  Reading them never changes a
+#: pipeline *result* — the runtime audit cross-checks exactly that — so
+#: CACHE002 and the audit treat them as fingerprint-exempt.
+INSTRUMENTATION_ENV = frozenset(
+    {"REPRO_SANITIZE_LOCKS", "REPRO_AUDIT_EFFECTS"}
+)
+
+#: Wall-clock / OS-entropy reads (kept in sync with DET002;
+#: ``perf_counter``/``monotonic`` feed timing counters, never results).
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "os.getrandom",
+        "random.SystemRandom",
+    }
+)
+
+#: Seeded-construction entry points (kept in sync with DET001): fine
+#: with arguments, an entropy draw without.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+        "numpy.random.SFC64",
+    }
+)
+
+#: In-place container mutators (duplicated from project._MUTATOR_METHODS
+#: to avoid a cycle).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "appendleft",
+    }
+)
+
+#: Dotted calls that write the filesystem regardless of mode.
+_FS_WRITE_DOTTED = frozenset(
+    {
+        "os.replace", "os.rename", "os.unlink", "os.remove",
+        "os.makedirs", "os.mkdir", "os.rmdir", "os.link", "os.symlink",
+        "shutil.rmtree", "shutil.copy", "shutil.copy2", "shutil.move",
+        "shutil.copytree", "tempfile.mkstemp", "tempfile.mkdtemp",
+    }
+)
+_FS_READ_DOTTED = frozenset({"os.stat", "os.listdir", "os.scandir"})
+_FS_READ_ATTRS = frozenset({"read_text", "read_bytes"})
+_FS_WRITE_ATTRS = frozenset(
+    {"write_text", "write_bytes", "mkdir", "touch", "unlink", "rmdir"}
+)
+
+#: Socket / network IO.
+_NET_DOTTED = frozenset(
+    {"socket.socket", "socket.create_connection", "urllib.request.urlopen"}
+)
+_NET_ATTRS = frozenset({"sendall", "recv", "accept", "connect"})
+
+#: Serialized sinks (DET004): bytes that land in a spill, a shm segment,
+#: an artifact body / ETag, or any dumped payload must be replayable.
+_SINK_DOTTED = frozenset(
+    {
+        "json.dump", "json.dumps",
+        "pickle.dump", "pickle.dumps",
+        "marshal.dump", "marshal.dumps",
+    }
+)
+_SINK_LOCAL = frozenset({"write_spill", "encode_table", "Artifact.build"})
+
+#: Cache roots (CACHE002): the callables whose transitive reads the
+#: stage / artifact fingerprints must cover.
+_STAGE_ROOT_TOKENS = frozenset({"StageCache.key", "StageCache.shard_key"})
+_STORE_ROOT_TOKENS = frozenset({"ArtifactStore"})
+
+
+def _call_token(func: ast.expr) -> str | None:
+    """A resolution token for a call target, or None.
+
+    ``name`` for plain calls, ``a.b`` (the full chain) for attribute
+    calls; ``self.x`` / ``cls.x`` keep the marker so the extractor can
+    substitute the enclosing class.
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    return ".".join([node.id, *reversed(parts)])
+
+
+def _mode_effect(call: ast.Call, position: int) -> str:
+    """The fs effect of an ``open``-style call (mode at *position*)."""
+    mode: ast.expr | None = None
+    if len(call.args) > position:
+        mode = call.args[position]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return "fs_read"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if "a" in mode.value:
+            return "fs_append"
+        if any(ch in mode.value for ch in "wx+"):
+            return "fs_write"
+        return "fs_read"
+    return "fs_write"  # dynamic mode: assume the stronger effect
+
+
+class _EffectExtractor:
+    """Effect facts of one parsed file (see module docstring)."""
+
+    def __init__(self, tree: ast.Module):
+        self.tree = tree
+        self.imports = ImportTable(tree)
+        self.functions: list[tuple[str, str | None, ast.AST]] = []
+        self.module_consts: dict[str, str] = {}
+        self.data_names: set[str] = set()
+        self.mutated: set[str] = set()
+        self.facts: dict = {"functions": {}, "mutated_globals": []}
+        self._collect_module_level()
+        for qual, cls, node in self.functions:
+            self.facts["functions"][qual] = self._walk(qual, cls, node)
+        self.facts["mutated_globals"] = sorted(self.mutated)
+
+    # -- module level --------------------------------------------------------
+
+    def _collect_module_level(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions.append((node.name, None, node))
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self.functions.append(
+                            (f"{node.name}.{sub.name}", node.name, sub)
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.data_names.add(target.id)
+                        if isinstance(node.value, ast.Constant) and isinstance(
+                            node.value.value, str
+                        ):
+                            self.module_consts[target.id] = node.value.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                self.data_names.add(node.target.id)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _is_environ(self, node: ast.expr) -> bool:
+        return self.imports.resolve(node) == "os.environ"
+
+    def _env_key(self, arg: ast.expr | None) -> str:
+        """The env key of an access: literal, module constant, or ``*``."""
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        if isinstance(arg, ast.Name) and arg.id in self.module_consts:
+            return self.module_consts[arg.id]
+        return "*"
+
+    @staticmethod
+    def _own_scope(node: ast.AST):
+        """Walk *node* without descending into nested defs / lambdas."""
+        stack: list[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            yield current
+            for child in ast.iter_child_nodes(current):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                ):
+                    continue
+                stack.append(child)
+
+    # -- one function --------------------------------------------------------
+
+    def _walk(self, qual: str, cls: str | None, func: ast.AST) -> dict:
+        rec: dict = {
+            "lineno": func.lineno,
+            "effects": [],
+            "calls": [],
+            "returns": {"reasons": [], "calls": []},
+            "sinks": [],
+            "retries": [],
+            "roots": [],
+        }
+        effects: dict[str, int] = {}
+        calls: dict[str, int] = {}
+
+        # scoping: any name stored anywhere in the (folded) function is
+        # local everywhere, matching Python's binding rule; `global`
+        # declarations re-export the name.
+        bound: set[str] = set()
+        global_decls: set[str] = set()
+        params = {a.arg for a in func.args.args + func.args.kwonlyargs}
+        params |= {a.arg for a in func.args.posonlyargs}
+        if func.args.vararg is not None:
+            params.add(func.args.vararg.arg)
+        if func.args.kwarg is not None:
+            params.add(func.args.kwarg.arg)
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                bound.add(sub.id)
+            elif isinstance(sub, ast.arg):
+                bound.add(sub.arg)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bound.add(sub.name)
+            elif isinstance(sub, ast.Global):
+                global_decls.update(sub.names)
+            elif isinstance(sub, ast.ExceptHandler) and sub.name:
+                bound.add(sub.name)
+            elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                for alias in sub.names:
+                    bound.add((alias.asname or alias.name).split(".", 1)[0])
+        bound -= global_decls
+        bound |= params
+
+        def add_effect(token: str, lineno: int) -> None:
+            effects.setdefault(token, lineno)
+
+        def is_global(name: str) -> bool:
+            return (
+                name in global_decls
+                or (name in self.data_names and name not in bound)
+            )
+
+        def token_of(node_func: ast.expr) -> str | None:
+            token = _call_token(node_func)
+            if token is None:
+                return None
+            head, dot, tail = token.partition(".")
+            if head in ("self", "cls") and cls is not None and tail:
+                return f"{cls}.{tail}"
+            return token
+
+        # -- pass 1: every call in the folded body -------------------------
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                self._classify_call(
+                    node, qual, cls, rec, add_effect, calls,
+                    params, is_global, token_of,
+                )
+            elif isinstance(node, ast.Subscript) and self._is_environ(
+                node.value
+            ):
+                key = self._env_key(node.slice)
+                kind = (
+                    "env_read"
+                    if isinstance(node.ctx, ast.Load)
+                    else "env_write"
+                )
+                add_effect(f"{kind}:{key}", node.lineno)
+            elif isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+            ):
+                if any(self._is_environ(c) for c in node.comparators):
+                    add_effect(
+                        f"env_read:{self._env_key(node.left)}",
+                        node.lineno,
+                    )
+
+        # -- pass 2: writes to globals / parameters ------------------------
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if target.id in global_decls:
+                        add_effect(f"global_write:{target.id}", node.lineno)
+                        self.mutated.add(target.id)
+                    continue
+                root = target
+                while isinstance(root, (ast.Subscript, ast.Attribute)):
+                    root = root.value
+                if not isinstance(root, ast.Name) or root is target:
+                    continue
+                if is_global(root.id):
+                    add_effect(f"global_write:{root.id}", node.lineno)
+                    self.mutated.add(root.id)
+                elif root.id in params and root.id not in ("self", "cls"):
+                    add_effect(f"arg_mutate:{root.id}", node.lineno)
+
+        # -- pass 3: reads of module globals -------------------------------
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and (node.id in global_decls or node.id in self.data_names)
+                and node.id not in bound
+            ):
+                add_effect(f"global_read:{node.id}", node.lineno)
+
+        # -- pass 4: local taint flow and returns --------------------------
+        tainted: dict[str, str] = {}
+        origin: dict[str, str] = {}
+        set_named: set[str] = set()
+        assigns = sorted(
+            (
+                n
+                for n in ast.walk(func)
+                if isinstance(n, ast.Assign)
+                and len(n.targets) == 1
+                and isinstance(n.targets[0], ast.Name)
+            ),
+            key=lambda n: n.lineno,
+        )
+        for _round in range(2):  # one retry lets chained flows settle
+            for node in assigns:
+                name = node.targets[0].id
+                reasons = self._expr_taint(node.value, tainted, token_of)
+                if reasons:
+                    tainted.setdefault(name, sorted(reasons)[0])
+                if self._is_set_expr(node.value, set_named, token_of):
+                    set_named.add(name)
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Call):
+                        token = token_of(sub.func)
+                        if token is not None:
+                            origin.setdefault(name, token)
+                            break
+
+        return_reasons: dict[str, int] = {}
+        return_calls: set[str] = set()
+        for node in self._own_scope(func):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            for reason in self._expr_taint(node.value, tainted, token_of):
+                return_reasons.setdefault(reason, node.lineno)
+            if self._is_set_expr(node.value, set_named, token_of):
+                return_reasons.setdefault("set-order", node.lineno)
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Call):
+                    token = token_of(sub.func)
+                    if token is not None:
+                        return_calls.add(token)
+                elif isinstance(sub, ast.Name) and sub.id in origin:
+                    return_calls.add(origin[sub.id])
+        rec["returns"]["reasons"] = sorted(
+            [r, ln] for r, ln in return_reasons.items()
+        )
+        rec["returns"]["calls"] = sorted(return_calls)
+
+        # -- pass 5: sink arguments ----------------------------------------
+        for sink in rec["sinks"]:
+            call = sink.pop("_call")
+            args: list[list] = []
+            local_reasons: dict[str, int] = {}
+            exprs = list(call.args) + [kw.value for kw in call.keywords]
+            for expr in exprs:
+                for token, wrapped in self._arg_tokens(expr, token_of):
+                    args.append([token, int(wrapped)])
+                for sub in ast.walk(expr):
+                    if isinstance(sub, ast.Name) and sub.id in tainted:
+                        local_reasons.setdefault(tainted[sub.id], sub.lineno)
+                    elif isinstance(sub, ast.Name) and sub.id in origin:
+                        args.append([origin[sub.id], 0])
+            seen: set[tuple] = set()
+            sink["args"] = [
+                a for a in args if tuple(a) not in seen and not seen.add(tuple(a))
+            ]
+            sink["local_reasons"] = sorted(
+                [r, ln] for r, ln in local_reasons.items()
+            )
+
+        rec["effects"] = sorted([t, ln] for t, ln in effects.items())
+        rec["calls"] = sorted([t, ln] for t, ln in calls.items())
+        return rec
+
+    # -- call classification -------------------------------------------------
+
+    def _classify_call(
+        self, node, qual, cls, rec, add_effect, calls, params,
+        is_global, token_of,
+    ) -> None:
+        token = token_of(node.func)
+        dotted = self.imports.resolve(node.func)
+        attr = (
+            node.func.attr if isinstance(node.func, ast.Attribute) else None
+        )
+        if token is not None:
+            calls.setdefault(token, node.lineno)
+
+        # environment
+        if dotted in ("os.environ.get", "os.getenv"):
+            arg = node.args[0] if node.args else None
+            add_effect(
+                f"env_read:{self._env_key(arg)}", node.lineno
+            )
+        elif dotted in ("os.environ.setdefault",):
+            arg = node.args[0] if node.args else None
+            key = self._env_key(arg)
+            add_effect(f"env_read:{key}", node.lineno)
+            add_effect(f"env_write:{key}", node.lineno)
+        elif dotted in ("os.environ.pop", "os.environ.update", "os.putenv"):
+            arg = node.args[0] if node.args else None
+            add_effect(
+                f"env_write:{self._env_key(arg)}", node.lineno
+            )
+        elif dotted in (
+            "os.environ.copy", "os.environ.items", "os.environ.keys",
+            "os.environ.values",
+        ):
+            add_effect("env_read:*", node.lineno)
+
+        # wall clock / entropy / RNG
+        if dotted in _CLOCK_CALLS:
+            add_effect(f"clock:{dotted}", node.lineno)
+        elif dotted is not None:
+            if dotted in _SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    add_effect(f"rng:{dotted}", node.lineno)
+            elif dotted.startswith("numpy.random.") or (
+                dotted.startswith("random.") and dotted.count(".") == 1
+            ):
+                add_effect(f"rng:{dotted}", node.lineno)
+
+        # filesystem
+        if token == "open" or dotted == "os.fdopen" or attr == "fdopen":
+            add_effect(_mode_effect(node, 1), node.lineno)
+        elif dotted in _FS_WRITE_DOTTED:
+            add_effect("fs_write", node.lineno)
+        elif dotted in _FS_READ_DOTTED:
+            add_effect("fs_read", node.lineno)
+        elif attr in _FS_WRITE_ATTRS:
+            add_effect("fs_write", node.lineno)
+        elif attr in _FS_READ_ATTRS:
+            add_effect("fs_read", node.lineno)
+
+        # sockets
+        if dotted in _NET_DOTTED or attr in _NET_ATTRS:
+            add_effect("net", node.lineno)
+
+        # in-place mutation of globals / parameters through methods
+        if (
+            attr in _MUTATOR_METHODS
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+        ):
+            receiver = node.func.value.id
+            if is_global(receiver):
+                add_effect(f"global_write:{receiver}", node.lineno)
+                self.mutated.add(receiver)
+            elif receiver in params and receiver not in ("self", "cls"):
+                add_effect(f"arg_mutate:{receiver}", node.lineno)
+
+        # serialized sinks (argument tokens are filled in pass 5)
+        if token in _SINK_LOCAL or dotted in _SINK_DOTTED:
+            rec["sinks"].append(
+                {
+                    "token": token or dotted,
+                    "lineno": node.lineno,
+                    "col": node.col_offset,
+                    "_call": node,
+                }
+            )
+
+        # retry regions
+        if token == "retry_with_backoff" or (
+            dotted is not None and dotted.endswith(".retry_with_backoff")
+        ):
+            self._record_retry(node, rec, params, is_global, token_of)
+
+        # cache roots
+        if token in _STAGE_ROOT_TOKENS:
+            rec["roots"].append(["stage", node.lineno, node.col_offset])
+        elif token in _STORE_ROOT_TOKENS:
+            rec["roots"].append(["store", node.lineno, node.col_offset])
+
+    def _record_retry(
+        self, node, rec, params, is_global, token_of
+    ) -> None:
+        target: ast.expr | None = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "func":
+                target = kw.value
+        token = ""
+        inline_tokens: set[str] = set()
+        inline_effects: dict[str, int] = {}
+        if isinstance(target, ast.Lambda):
+            # the thunk idiom: classify the lambda body on its own so the
+            # retry region knows what one attempt re-executes
+            for sub in ast.walk(target.body):
+                if isinstance(sub, ast.Call):
+                    t = token_of(sub.func)
+                    if t is not None:
+                        inline_tokens.add(t)
+                    if (
+                        isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _MUTATOR_METHODS
+                        and isinstance(sub.func.value, ast.Name)
+                    ):
+                        receiver = sub.func.value.id
+                        if is_global(receiver):
+                            inline_effects.setdefault(
+                                f"global_write:{receiver}", sub.lineno
+                            )
+        elif target is not None and isinstance(target, ast.Call):
+            # functools.partial(f, ...) unwraps to f
+            ptoken = token_of(target.func)
+            if ptoken in ("partial", "functools.partial") and target.args:
+                inner = token_of(target.args[0]) if isinstance(
+                    target.args[0], (ast.Name, ast.Attribute)
+                ) else None
+                if inner is None and isinstance(target.args[0], ast.Name):
+                    inner = target.args[0].id
+                token = inner or ""
+        elif target is not None:
+            token = token_of(target) or ""
+        rec["retries"].append(
+            {
+                "token": token,
+                "lineno": node.lineno,
+                "col": node.col_offset,
+                "inline_calls": sorted(inline_tokens),
+                "inline_effects": sorted(
+                    [t, ln] for t, ln in inline_effects.items()
+                ),
+            }
+        )
+
+    # -- taint helpers -------------------------------------------------------
+
+    def _expr_taint(self, expr, tainted: dict[str, str], token_of) -> set[str]:
+        """Direct taint reasons of one expression."""
+        reasons: set[str] = set()
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                dotted = self.imports.resolve(sub.func)
+                if dotted in _CLOCK_CALLS:
+                    reasons.add("wall-clock")
+                elif dotted is not None:
+                    if dotted in _SEEDED_CONSTRUCTORS:
+                        if not sub.args and not sub.keywords:
+                            reasons.add("rng")
+                    elif dotted.startswith("numpy.random.") or (
+                        dotted.startswith("random.")
+                        and dotted.count(".") == 1
+                    ):
+                        reasons.add("rng")
+            elif isinstance(sub, ast.Name) and sub.id in tainted:
+                reasons.add(tainted[sub.id])
+        return reasons
+
+    @staticmethod
+    def _is_set_expr(expr, set_named: set[str], token_of) -> bool:
+        """Does *expr* evaluate to a raw (iteration-order) set?"""
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in set_named
+        if isinstance(expr, ast.Call):
+            return token_of(expr.func) in ("set", "frozenset")
+        return False
+
+    def _arg_tokens(self, expr, token_of):
+        """``(call token, sorted_wrapped)`` pairs inside a sink argument.
+
+        ``sorted(...)`` pins an order, so set-order taint does not
+        survive it — the flag lets the rule drop that reason while a
+        wall-clock value stays tainted through any wrapper.
+        """
+        out: list[tuple[str, bool]] = []
+
+        def visit(node, wrapped: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                inner = wrapped
+                if isinstance(child, ast.Call):
+                    token = token_of(child.func)
+                    if token is not None and token not in (
+                        "sorted", "list", "tuple", "len", "str", "repr",
+                    ):
+                        out.append((token, wrapped))
+                    if token == "sorted":
+                        inner = True
+                visit(child, inner)
+
+        visit(ast.Module(body=[ast.Expr(value=expr)], type_ignores=[]), False)
+        return out
+
+
+def extract_effects(tree: ast.Module) -> dict:
+    """The JSON-serializable effect facts of one parsed file."""
+    return _EffectExtractor(tree).facts
+
+
+#: Effect categories whose transitive presence un-fingerprints a cache
+#: root (CACHE002): hidden reads the stage / content fingerprints can
+#: never cover.
+UNFINGERPRINTED_READS = ("env_read", "global_read", "clock", "rng")
+
+#: Effect categories that make one retry attempt observable beyond the
+#: attempt itself (FAULT002): replaying them is not idempotent.
+NON_IDEMPOTENT_WRITES = ("fs_append", "env_write", "global_write")
+
+
+class EffectModel:
+    """Fixpoint-propagated effect summaries over the project call graph.
+
+    Build one per analysis (rules share it through :meth:`of`); the
+    fixpoint is dict/set merging over cached facts — a warm incremental
+    run pays microseconds here.
+    """
+
+    def __init__(self, index: "ProjectIndex"):
+        #: direct per-function records, keyed ``module:qual``.
+        self.functions: dict[str, dict] = {}
+        self.displays: dict[str, str] = {}
+        #: ``module.NAME`` globals some function in *module* mutates.
+        self.mutated: set[str] = set()
+        self._module_functions: dict[str, dict] = {}
+        self._edges: dict[str, tuple[str, ...]] = {}
+        self._taint_edges: dict[str, tuple[str, ...]] = {}
+        #: transitive ``token -> (origin gid, lineno)``, origin-first.
+        self._effects: dict[str, dict[str, tuple[str, int]]] = {}
+        self._taints: dict[str, dict[str, tuple[str, int]]] = {}
+        self._build(index)
+
+    @classmethod
+    def of(cls, index: "ProjectIndex") -> "EffectModel":
+        """The (memoized) model of one index."""
+        model = getattr(index, "_effect_model", None)
+        if model is None:
+            model = cls(index)
+            index._effect_model = model
+        return model
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self, index: "ProjectIndex") -> None:
+        for summary in index.summaries:
+            facts = summary.facts.get("effects") or {}
+            module = summary.module
+            self.displays[module] = summary.display
+            functions = facts.get("functions", {})
+            self._module_functions[module] = functions
+            for name in facts.get("mutated_globals", ()):
+                self.mutated.add(f"{module}.{name}")
+        for summary in index.summaries:
+            module = summary.module
+            for qual, rec in self._module_functions[module].items():
+                gid = f"{module}:{qual}"
+                self.functions[gid] = rec
+                direct: dict[str, tuple[str, int]] = {}
+                for token, lineno in rec.get("effects", ()):
+                    category, __, detail = token.partition(":")
+                    if category in ("global_read", "global_write"):
+                        qualified = f"{module}.{detail}"
+                        if (
+                            category == "global_read"
+                            and qualified not in self.mutated
+                        ):
+                            # reads of never-mutated globals are constant
+                            # folding, not state; pruning them here keeps
+                            # the fixpoint's token sets small
+                            continue
+                        token = f"{category}:{qualified}"
+                    direct[token] = (gid, lineno)
+                self._effects[gid] = direct
+                edges: list[str] = []
+                for token, __ in rec.get("calls", ()):
+                    edges.extend(self.resolve_call(index, module, token))
+                self._edges[gid] = tuple(dict.fromkeys(edges))
+                taints: dict[str, tuple[str, int]] = {}
+                for reason, lineno in rec["returns"].get("reasons", ()):
+                    taints[reason] = (gid, lineno)
+                self._taints[gid] = taints
+                tedges: list[str] = []
+                for token in rec["returns"].get("calls", ()):
+                    tedges.extend(self.resolve_call(index, module, token))
+                self._taint_edges[gid] = tuple(dict.fromkeys(tedges))
+        self._fixpoint(self._effects, self._edges)
+        self._fixpoint(self._taints, self._taint_edges)
+
+    @staticmethod
+    def _fixpoint(
+        state: dict[str, dict[str, tuple[str, int]]],
+        edges: dict[str, tuple[str, ...]],
+    ) -> None:
+        """Propagate summaries along call edges until nothing changes.
+
+        Effect sets are finite and union is monotone, so iteration
+        terminates; cycles in the call graph simply converge to the
+        component-wide union.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for gid, callees in edges.items():
+                mine = state[gid]
+                for callee in callees:
+                    for token, site in state.get(callee, {}).items():
+                        if token not in mine:
+                            mine[token] = site
+                            changed = True
+
+    # -- call resolution -----------------------------------------------------
+
+    def resolve_call(
+        self, index: "ProjectIndex", module: str, token: str
+    ) -> list[str]:
+        """Global function ids a call *token* in *module* can reach.
+
+        Same-module quals win; otherwise the head of the token resolves
+        through the index's import bindings, one symbol deep — exactly
+        the boundary :class:`ConcurrencyModel` draws, but applied at
+        every fixpoint edge.  A bare class name resolves to its
+        ``__init__`` / ``__post_init__`` (constructing is calling).
+        """
+        functions = self._module_functions.get(module, {})
+        if token in functions:
+            return [f"{module}:{token}"]
+        head, __, tail = token.partition(".")
+        resolved = index._resolve_binding(module, head if tail else token)
+        if resolved is None:
+            return []
+        owner, symbol = resolved
+        remote = self._module_functions.get(owner, {})
+        if tail:
+            qual = f"{symbol}.{tail}"
+            if qual in remote:
+                return [f"{owner}:{qual}"]
+            # `from ..checks import lockdep as _lockdep` binds a module:
+            # the tail then resolves inside that module's own functions
+            submodule = f"{owner}.{symbol}"
+            sub_functions = self._module_functions.get(submodule, {})
+            if tail in sub_functions:
+                return [f"{submodule}:{tail}"]
+            return []
+        if symbol in remote:
+            return [f"{owner}:{symbol}"]
+        kind = (
+            index.by_module[owner]
+            .facts.get("symbols", {})
+            .get(symbol, {})
+            .get("kind")
+        )
+        if kind == "class":
+            return [
+                f"{owner}:{symbol}.{method}"
+                for method in ("__init__", "__post_init__")
+                if f"{symbol}.{method}" in remote
+            ]
+        return []
+
+    # -- queries -------------------------------------------------------------
+
+    def effects(self, gid: str) -> dict[str, tuple[str, int]]:
+        """Transitive ``token -> (origin gid, lineno)`` of one function."""
+        return self._effects.get(gid, {})
+
+    def returns_taint(self, gid: str) -> dict[str, tuple[str, int]]:
+        """Transitive return-value taint reasons of one function."""
+        return self._taints.get(gid, {})
+
+    def site(self, gid: str) -> tuple[str, int]:
+        """``(display path, lineno)`` of a function id, for messages."""
+        module, __, qual = gid.partition(":")
+        rec = self.functions.get(gid, {})
+        return self.displays.get(module, module), rec.get("lineno", 0)
+
+    def roots(self) -> list[tuple[str, str, int, int]]:
+        """``(gid, kind, lineno, col)`` of every cache root, sorted."""
+        out = []
+        for gid in sorted(self.functions):
+            for kind, lineno, col in self.functions[gid].get("roots", ()):
+                out.append((gid, kind, lineno, col))
+        return out

@@ -97,6 +97,10 @@ class Rule:
     name: str = ""
     #: One-line rationale tying the rule to a pipeline contract.
     rationale: str = ""
+    #: SARIF reporting level: ``error`` (contract violation), ``warning``
+    #: (latent hazard) or ``note`` — drives code-scanning display only;
+    #: every finding still fails the sweep with exit 1.
+    severity: str = "error"
 
     def check_file(self, file: SourceFile) -> Iterator[Finding]:
         """Findings of this rule in one file (default: none)."""

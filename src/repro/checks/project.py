@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from .concurrency import extract_concurrency
+from .effects import extract_effects
 from .lineage import extract_lineage
 
 __all__ = [
@@ -40,7 +41,7 @@ __all__ = [
 ]
 
 #: Bump when the facts schema changes so cached summaries invalidate.
-FACTS_VERSION = 2
+FACTS_VERSION = 3
 
 #: Attribute methods whose first argument names a fault-injection site.
 _HOOK_METHODS = ("arrive", "fire")
@@ -283,12 +284,14 @@ def extract_facts(tree: ast.Module) -> dict:
         "hook_calls": [],
         "functions": {},
         "map_calls": [],
+        "map_table_calls": [],
         "config_writes": [],
         "config_ctor_kwargs": [],
         "argparse_dests": [],
         "args_reads": [],
         "lineage": extract_lineage(tree),
         "concurrency": extract_concurrency(tree),
+        "effects": extract_effects(tree),
     }
 
     # -- module-exec-time imports (skip function bodies: lazy imports are a
@@ -415,7 +418,7 @@ def extract_facts(tree: ast.Module) -> dict:
 
 
 def _extract_executor_facts(tree: ast.Module, facts: dict) -> None:
-    """Executor submissions: every ``<executor>.map(func, ...)`` call."""
+    """Executor submissions: ``<executor>.map`` / ``.map_table`` calls."""
     executor_names: set[str] = set(_EXECUTOR_NAMES)
     for node in ast.walk(tree):
         targets: list[ast.expr] = []
@@ -451,7 +454,9 @@ def _extract_executor_facts(tree: ast.Module, facts: dict) -> None:
         if not isinstance(node, ast.Call) or not node.args:
             continue
         func = node.func
-        if not isinstance(func, ast.Attribute) or func.attr != "map":
+        if not isinstance(func, ast.Attribute) or func.attr not in (
+            "map", "map_table"
+        ):
             continue
         receiver = func.value
         receiver_name = receiver.id if isinstance(receiver, ast.Name) else (
@@ -472,10 +477,30 @@ def _extract_executor_facts(tree: ast.Module, facts: dict) -> None:
         elif isinstance(submitted, ast.Name):
             entry["func"] = submitted.id
             entry["kind"] = "nested" if nesting.get(submitted.id) else "name"
+        elif (
+            isinstance(submitted, ast.Call)
+            and isinstance(
+                submitted.func, (ast.Name, ast.Attribute)
+            )
+            and (
+                submitted.func.id
+                if isinstance(submitted.func, ast.Name)
+                else submitted.func.attr
+            )
+            == "partial"
+            and submitted.args
+            and isinstance(submitted.args[0], ast.Name)
+        ):
+            # `functools.partial(worker, ...)` submits `worker` with bound
+            # leading arguments — the effect rules treat it as the worker
+            entry["func"] = submitted.args[0].id
+            entry["kind"] = "partial"
         for kw in node.keywords:
             if kw.arg == "initializer" and isinstance(kw.value, ast.Name):
                 entry["initializer"] = kw.value.id
-        facts["map_calls"].append(entry)
+        facts[
+            "map_calls" if func.attr == "map" else "map_table_calls"
+        ].append(entry)
 
 
 #: The config dataclass whose writes / CLI parity CFG001 proves.

@@ -15,16 +15,29 @@ Modules group rules by the contract they defend:
   PAR003 (shared-memory create without provable close/unlink cleanup);
 * :mod:`.concurrency` — LOCK002 (lock-order cycle), LOCK003
   (inconsistent guard), LOCK004 (blocking call under lock), SEM001
-  (semaphore acquire/release imbalance).
+  (semaphore acquire/release imbalance);
+* :mod:`.effects` — CACHE002 (un-fingerprinted cache read), DET004
+  (tainted serialized sink), FAULT002 (non-idempotent retry), PURE001
+  (impure cross-module worker), all over the interprocedural
+  :class:`~repro.checks.effects.EffectModel`.
 """
 
-from . import concurrency, contracts, crossmodule, determinism, hygiene, resources
+from . import (
+    concurrency,
+    contracts,
+    crossmodule,
+    determinism,
+    effects,
+    hygiene,
+    resources,
+)
 
 __all__ = [
     "concurrency",
     "contracts",
     "crossmodule",
     "determinism",
+    "effects",
     "hygiene",
     "resources",
 ]

@@ -130,6 +130,7 @@ class ColumnDeadWrite(_LineageRule):
         "dead weight in every downstream copy/cache and usually marks an "
         "abandoned feature or a renamed consumer"
     )
+    severity = "warning"  # latent waste, not incorrect output
 
     def check_index(self, index: "ProjectIndex") -> Iterator[Finding]:
         """Every produced (non-schema) name must have a consuming site."""

@@ -1,0 +1,323 @@
+"""Interprocedural effect rules over the :class:`~repro.checks.effects.EffectModel`.
+
+The per-file DET/CACHE rules prove *local* purity; these four prove it
+across the call graph, where the cache layers actually break:
+
+* **CACHE002** — a ``StageCache``-keyed stage callable or an
+  ``ArtifactStore`` render whose transitive effect set reads state the
+  fingerprints never cover (``os.environ``, mutated module globals, the
+  wall clock, unseeded RNG).  A hit on such an entry silently replays a
+  value computed under different hidden state.
+* **DET004** — a wall-clock / RNG / set-order-tainted value flowing
+  through the call graph into a serialized sink (``json``/``pickle``
+  dumps, the spill writer, the shm codec, ``Artifact.build``'s
+  body+ETag).  The per-file DET002/DET003 catch the source expression;
+  this catches the *flow* a pragma or a function boundary hides.
+* **FAULT002** — a ``retry_with_backoff`` region whose retried callable
+  has a non-idempotent external write effect (append-mode IO, env
+  writes, module-global mutation): one logical operation would apply
+  its side effect once per attempt.
+* **PURE001** — a ``ParallelMap.map`` / ``map_table`` worker with
+  transitive write effects on shared state *across module boundaries* —
+  the interprocedural generalization of PAR002, which only closes a
+  worker over its own module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..effects import (
+    EffectModel,
+    INSTRUMENTATION_ENV,
+    NON_IDEMPOTENT_WRITES,
+    UNFINGERPRINTED_READS,
+)
+from ..model import Finding, Rule, register
+
+__all__ = [
+    "UnfingerprintedCacheRead",
+    "TaintedSerializedSink",
+    "NonIdempotentRetry",
+    "ImpureWorker",
+]
+
+
+def _short(gid: str) -> str:
+    """``module:qual`` → ``qual`` with the module's last segment."""
+    module, __, qual = gid.partition(":")
+    return f"{module.rsplit('.', 1)[-1]}.{qual}"
+
+
+def _origin(model: EffectModel, origin_gid: str, lineno: int) -> str:
+    display, __ = model.site(origin_gid)
+    return f"{_short(origin_gid)} ({display}:{lineno})"
+
+
+@register
+class UnfingerprintedCacheRead(Rule):
+    """CACHE002 — a cached callable reads state its fingerprint misses.
+
+    ``StageCache`` keys are ``(stage, content fingerprint, config
+    fingerprint)`` and ``ArtifactStore`` keys are
+    ``analysis_version()``; both promise the cached value is a pure
+    function of the key.  Any transitive read of ``os.environ``, a
+    mutated module global, the wall clock or unseeded RNG inside the
+    cached computation breaks that promise — a later hit replays a
+    value computed under hidden state the key never saw.
+    Instrumentation flags (``REPRO_SANITIZE_LOCKS``,
+    ``REPRO_AUDIT_EFFECTS``) are exempt: they arm behaviour-neutral
+    observers, which the runtime effect audit itself cross-checks.
+    """
+
+    code = "CACHE002"
+    name = "unfingerprinted-cache-read"
+    rationale = (
+        "a cache hit replays the stored value instead of the "
+        "computation; if the computation read state outside the cache "
+        "key, the replay is silently wrong — every read must be "
+        "fingerprinted or removed"
+    )
+
+    def check_index(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Close every cache root over its transitive read effects."""
+        model = EffectModel.of(index)
+        for gid, kind, lineno, col in model.roots():
+            offenders = []
+            for token, (origin, oline) in sorted(
+                model.effects(gid).items()
+            ):
+                category, __, detail = token.partition(":")
+                if category not in UNFINGERPRINTED_READS:
+                    continue
+                if category == "env_read" and detail in INSTRUMENTATION_ENV:
+                    continue
+                offenders.append((token, origin, oline))
+            if not offenders:
+                continue
+            token, origin, oline = offenders[0]
+            extra = (
+                f" (+{len(offenders) - 1} more)"
+                if len(offenders) > 1
+                else ""
+            )
+            display, __ = model.site(gid)
+            what = (
+                "stage cached by StageCache"
+                if kind == "stage"
+                else "ArtifactStore render"
+            )
+            yield Finding(
+                display, lineno, col, self.code,
+                f"'{_short(gid)}' keys a {what} but transitively reads "
+                f"un-fingerprinted state: {token} via "
+                f"{_origin(model, origin, oline)}{extra}; cover the read "
+                "in the fingerprint or hoist it out of the cached region",
+            )
+
+
+@register
+class TaintedSerializedSink(Rule):
+    """DET004 — nondeterminism reaches a serialized sink via the call graph.
+
+    Spills, shm segments, artifact bodies and ETags are compared
+    bit-for-bit by the equivalence tests and reused across runs by the
+    caches.  A value tainted by the wall clock, unseeded RNG or set
+    iteration order that flows — possibly through several calls — into
+    ``json``/``pickle``/``marshal`` dumps, ``write_spill``,
+    ``encode_table`` or ``Artifact.build`` makes those bytes differ
+    between identical runs.  ``sorted(...)`` launders set-order taint
+    (it pins an order); nothing launders clock or RNG taint.
+    """
+
+    code = "DET004"
+    name = "tainted-serialized-sink"
+    rationale = (
+        "serialized bytes feed caches, ETags and bit-identity "
+        "equivalence checks; a time/RNG/set-order-dependent value in "
+        "them makes every rerun a cache miss and every equivalence "
+        "test flaky"
+    )
+
+    def check_index(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Judge every serialized-sink call's argument provenance."""
+        model = EffectModel.of(index)
+        for summary in index.summaries:
+            functions = (summary.facts.get("effects") or {}).get(
+                "functions", {}
+            )
+            for qual in sorted(functions):
+                for sink in functions[qual].get("sinks", ()):
+                    reasons: dict[str, str] = {}
+                    for reason, __ in sink.get("local_reasons", ()):
+                        reasons.setdefault(reason, "a local value")
+                    for token, wrapped in sink.get("args", ()):
+                        for callee in model.resolve_call(
+                            index, summary.module, token
+                        ):
+                            for reason, (origin, oline) in model.returns_taint(
+                                callee
+                            ).items():
+                                if wrapped and reason == "set-order":
+                                    continue  # sorted(...) pinned the order
+                                reasons.setdefault(
+                                    reason,
+                                    f"the return of "
+                                    f"{_origin(model, origin, oline)}",
+                                )
+                    if not reasons:
+                        continue
+                    listed = "; ".join(
+                        f"{reason}-tainted from {src}"
+                        for reason, src in sorted(reasons.items())
+                    )
+                    yield Finding(
+                        summary.display, sink["lineno"], sink["col"],
+                        self.code,
+                        f"serialized sink '{sink['token']}' in '{qual}' "
+                        f"receives {listed}; serialized bytes must be a "
+                        "pure function of (data, config, seed)",
+                    )
+
+
+@register
+class NonIdempotentRetry(Rule):
+    """FAULT002 — a retried callable's side effects are not replay-safe.
+
+    ``retry_with_backoff`` re-executes its callable after transient
+    failures, so one logical operation may run N times.  Atomic
+    publication (temp file + ``os.replace``) replays cleanly; an
+    append-mode write, an ``os.environ`` write or a module-global
+    mutation applies once *per attempt* — duplicated log lines,
+    double-counted counters, corrupted shared state.  The analysis
+    closes the retried callable (a name, a ``functools.partial``, or
+    the calls inside a thunk lambda) over its transitive write effects.
+    """
+
+    code = "FAULT002"
+    name = "non-idempotent-retry"
+    rationale = (
+        "a retry region re-runs its callable an unpredictable number "
+        "of times; only idempotent effects (pure compute, atomic "
+        "replace) survive that contract — appends and shared-state "
+        "mutations multiply"
+    )
+
+    def check_index(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Close every retry region over its retried write effects."""
+        model = EffectModel.of(index)
+        for summary in index.summaries:
+            functions = (summary.facts.get("effects") or {}).get(
+                "functions", {}
+            )
+            for qual in sorted(functions):
+                for retry in functions[qual].get("retries", ()):
+                    offenders: dict[str, str] = {}
+                    for token, __ in retry.get("inline_effects", ()):
+                        category, ___, detail = token.partition(":")
+                        offenders.setdefault(
+                            f"{category}:{summary.module}.{detail}",
+                            "the retried thunk itself",
+                        )
+                    targets = []
+                    if retry.get("token"):
+                        targets.extend(
+                            model.resolve_call(
+                                index, summary.module, retry["token"]
+                            )
+                        )
+                    for token in retry.get("inline_calls", ()):
+                        targets.extend(
+                            model.resolve_call(index, summary.module, token)
+                        )
+                    for callee in dict.fromkeys(targets):
+                        for token, (origin, oline) in sorted(
+                            model.effects(callee).items()
+                        ):
+                            if token.partition(":")[0] in NON_IDEMPOTENT_WRITES:
+                                offenders.setdefault(
+                                    token,
+                                    f"via {_origin(model, origin, oline)}",
+                                )
+                    if not offenders:
+                        continue
+                    token, src = sorted(offenders.items())[0]
+                    extra = (
+                        f" (+{len(offenders) - 1} more)"
+                        if len(offenders) > 1
+                        else ""
+                    )
+                    yield Finding(
+                        summary.display, retry["lineno"], retry["col"],
+                        self.code,
+                        f"retry_with_backoff in '{qual}' retries a "
+                        f"non-idempotent effect: {token} {src}{extra}; "
+                        "make the write atomic (temp file + os.replace) "
+                        "or hoist it out of the retried callable",
+                    )
+
+
+@register
+class ImpureWorker(Rule):
+    """PURE001 — a pool worker's writes cross a module boundary.
+
+    PAR002 closes a submitted worker over its *own module's* helpers;
+    a worker that calls into another module and mutates state there —
+    or writes ``os.environ`` anywhere — has the same fork-and-forget
+    bug one import further away: the mutation lands in the worker
+    process's copy and the parent never sees it.  Workers must return
+    values; shared state travels via ``initializer``/``initargs``.
+    """
+
+    code = "PURE001"
+    name = "impure-worker"
+    rationale = (
+        "process-pool workers run in forked children; any transitive "
+        "write to module or environment state mutates the child's copy "
+        "only — the result is either dead code or a bug masked by "
+        "fork semantics"
+    )
+
+    def check_index(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Close every map/map_table worker over cross-module writes."""
+        model = EffectModel.of(index)
+        for summary in index.summaries:
+            facts = summary.facts
+            submissions = list(facts.get("map_calls", ())) + list(
+                facts.get("map_table_calls", ())
+            )
+            for call in submissions:
+                if call["kind"] not in ("name", "partial"):
+                    continue
+                for gid in model.resolve_call(
+                    index, summary.module, call["func"]
+                ):
+                    offenders = []
+                    for token, (origin, oline) in sorted(
+                        model.effects(gid).items()
+                    ):
+                        category, __, detail = token.partition(":")
+                        if category == "env_write":
+                            offenders.append((token, origin, oline))
+                        elif category == "global_write":
+                            origin_module = origin.partition(":")[0]
+                            # same-module writes are PAR002's finding;
+                            # this rule owns the cross-module closure
+                            if origin_module != summary.module:
+                                offenders.append((token, origin, oline))
+                    if not offenders:
+                        continue
+                    token, origin, oline = offenders[0]
+                    extra = (
+                        f" (+{len(offenders) - 1} more)"
+                        if len(offenders) > 1
+                        else ""
+                    )
+                    yield Finding(
+                        summary.display, call["lineno"], call["col"],
+                        self.code,
+                        f"worker '{call['func']}' submitted to a process "
+                        f"pool transitively writes shared state: {token} "
+                        f"via {_origin(model, origin, oline)}{extra}; "
+                        "workers must return values, not mutate state",
+                    )

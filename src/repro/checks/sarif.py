@@ -41,28 +41,47 @@ def _location(path: str, line: int, col: int) -> dict:
     }
 
 
+#: Rule-catalog anchor base for per-rule ``helpUri`` entries.
+HELP_URI_BASE = "https://example.invalid/repro/rules"
+
+
+def _descriptor(rule: Rule) -> dict:
+    """One ``reportingDescriptor``: docs and severity come from the rule.
+
+    ``fullDescription`` is the rule class's docstring — the same prose
+    ``--explain`` prints — so the code-scanning UI shows the complete
+    contract, not just the one-line rationale.
+    """
+    descriptor = {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.rationale},
+        "helpUri": f"{HELP_URI_BASE}/{rule.code.lower()}",
+        "defaultConfiguration": {"level": rule.severity},
+    }
+    doc = (type(rule).__doc__ or "").strip()
+    if doc:
+        descriptor["fullDescription"] = {"text": doc}
+    return descriptor
+
+
 def to_sarif(result: "CheckResult", rules: Sequence[Rule]) -> dict:
     """The SARIF payload of one analysis (``json.dump``-ready)."""
-    descriptors = [
-        {
-            "id": rule.code,
-            "name": rule.name,
-            "shortDescription": {"text": rule.rationale},
-        }
-        for rule in rules
-    ]
+    descriptors = [_descriptor(rule) for rule in rules]
     descriptors.append(
         {
             "id": PARSE_RULE_ID,
             "name": "parse-error",
             "shortDescription": {"text": "the file could not be parsed"},
+            "defaultConfiguration": {"level": "error"},
         }
     )
 
+    levels = {rule.code: rule.severity for rule in rules}
     results = [
         {
             "ruleId": finding.rule,
-            "level": "error",
+            "level": levels.get(finding.rule, "error"),
             "message": {"text": finding.message},
             "locations": [_location(finding.path, finding.line, finding.col)],
         }

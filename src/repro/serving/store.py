@@ -34,6 +34,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..checks import effectaudit as _effectaudit
 from ..checks import lockdep as _lockdep
 from ..core.engine import Indice
 from ..faults.plan import SERVE_REQUEST, FaultInjector
@@ -98,11 +99,13 @@ class ArtifactStore:
         renderers: dict[str, tuple[str, Callable[[], str | bytes]]],
         injector: FaultInjector | None = None,
         lockdep: "_lockdep.LockDep | None" = None,
+        effectaudit: "_effectaudit.EffectAudit | None" = None,
     ):
         self.version = version
         self._renderers = dict(renderers)
         self._injector = injector
         self._lockdep = _lockdep.resolve(lockdep)
+        self._effectaudit = _effectaudit.resolve(effectaudit)
         self._artifacts: dict[str, Artifact] = {}
         self._render_counts: dict[str, int] = {}
         self._locks: dict[str, threading.Lock] = {}
@@ -167,7 +170,8 @@ class ArtifactStore:
             # N cold hits coalesce into one render, and only same-key
             # requests (which need this payload anyway) ever wait on it;
             # warm hits never touch the lock.
-            payload = render()  # repro: noqa[LOCK004] — sanctioned coalescing render
+            with _effectaudit.region(self._effectaudit, f"render:{path}"):
+                payload = render()  # repro: noqa[LOCK004] — sanctioned coalescing render
             artifact = Artifact.build(path, content_type, payload)
             with self._meta:
                 self._render_counts[path] = self._render_counts.get(path, 0) + 1

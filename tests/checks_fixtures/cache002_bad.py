@@ -1,0 +1,36 @@
+"""CACHE002 positive: cached callables read un-fingerprinted state (2 findings)."""
+
+import os
+
+_MODE = {"fast": True}
+
+
+def tune(flag):
+    _MODE["fast"] = flag
+
+
+def hidden_mode():
+    return os.environ.get("EPC_FAST_PATH", "")
+
+
+class StageCache:
+    @staticmethod
+    def key(stage, *fingerprints):
+        return "-".join([stage, *fingerprints])
+
+
+class ArtifactStore:
+    def __init__(self, renderers):
+        self.renderers = renderers
+        # hidden read: a later cache hit replays whatever _MODE held here
+        self.fast = _MODE["fast"]
+
+
+def cached_stage(table, config_fp):
+    cache_key = StageCache.key("preprocess", config_fp)
+    # hidden read: the env var is not part of the cache key
+    return cache_key, hidden_mode(), table
+
+
+def build_store(renderers):
+    return ArtifactStore(renderers)

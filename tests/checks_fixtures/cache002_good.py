@@ -1,0 +1,29 @@
+"""CACHE002 negative: cached callables are pure functions of their keys."""
+
+_LAYOUT = {"columns": 12}  # never mutated: reading it is constant folding
+
+
+def visible_mode(mode):
+    return mode or "fast"
+
+
+class StageCache:
+    @staticmethod
+    def key(stage, *fingerprints):
+        return "-".join([stage, *fingerprints])
+
+
+class ArtifactStore:
+    def __init__(self, renderers):
+        self.renderers = renderers
+        self.columns = _LAYOUT["columns"]
+
+
+def cached_stage(table, config_fp, mode):
+    # the mode is an argument, so the caller fingerprints it into config_fp
+    cache_key = StageCache.key("preprocess", config_fp, visible_mode(mode))
+    return cache_key, table
+
+
+def build_store(renderers):
+    return ArtifactStore(renderers)

@@ -1,0 +1,22 @@
+"""DET004 positive: taint reaches serialized sinks via the call graph (2 findings)."""
+
+import json
+import time
+
+
+def stamp():
+    return time.time()  # repro: noqa[DET002] — the taint source under test
+
+
+def labels():
+    return {"kwh", "m2", "floor"}
+
+
+def write_report(fh):
+    # the wall-clock value crosses a function boundary before being dumped
+    json.dump({"generated": stamp()}, fh)
+
+
+def dump_labels():
+    # set iteration order crosses a function boundary before serializing
+    return json.dumps(list(labels()))

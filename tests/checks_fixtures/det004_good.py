@@ -1,0 +1,20 @@
+"""DET004 negative: sinks receive replayable values only."""
+
+import json
+
+
+def stamp(logical_clock):
+    return logical_clock  # injected, replayable
+
+
+def labels():
+    return {"kwh", "m2", "floor"}
+
+
+def write_report(fh, logical_clock):
+    json.dump({"generated": stamp(logical_clock)}, fh)
+
+
+def dump_labels():
+    # sorted(...) pins the order: the set-order taint does not survive
+    return json.dumps(sorted(labels()))

@@ -1,0 +1,23 @@
+"""FAULT002 positive: retried callables with non-idempotent writes (2 findings)."""
+
+_ATTEMPTS = {"n": 0}
+
+
+def retry_with_backoff(func, policy=None, retry_on=()):
+    return func()
+
+
+def append_audit(line):
+    # append-mode IO: each retry attempt appends the line again
+    with open("audit.log", "a") as fh:
+        fh.write(line)
+
+
+def count_attempt():
+    # module-global mutation: each retry attempt double-counts
+    _ATTEMPTS["n"] = _ATTEMPTS["n"] + 1
+
+
+def unsafe(line):
+    retry_with_backoff(lambda: append_audit(line))
+    retry_with_backoff(count_attempt)

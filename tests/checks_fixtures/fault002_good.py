@@ -1,0 +1,22 @@
+"""FAULT002 negative: retried callables are replay-safe."""
+
+import os
+import tempfile
+
+
+def retry_with_backoff(func, policy=None, retry_on=()):
+    return func()
+
+
+def publish(payload, path):
+    # atomic publication: a retried attempt rewrites the same bytes and
+    # os.replace makes the final name appear exactly once
+    fd, tmp_name = tempfile.mkstemp(dir=".")
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(payload)
+    os.replace(tmp_name, path)
+
+
+def safe(payload, path):
+    retry_with_backoff(lambda: publish(payload, path))
+    retry_with_backoff(lambda: len(payload))

@@ -1,0 +1,16 @@
+"""PURE001 positive, workers: cross-module shared-state writes."""
+
+import os
+
+_COUNTS = {}
+
+
+def bump_counter(item):
+    # the write lands in the forked worker's copy; the parent never sees it
+    _COUNTS[item] = _COUNTS.get(item, 0) + 1
+    return item
+
+
+def tag_environment(mode, row):
+    os.environ["EPC_WORKER_MODE"] = mode
+    return row

@@ -1,0 +1,13 @@
+"""PURE001 positive, call site: imported workers mutate shared state (2 findings)."""
+
+import functools
+
+from helpers import bump_counter, tag_environment
+
+
+def run(executor, items, table):
+    first = executor.map(bump_counter, items)
+    second = executor.map_table(
+        functools.partial(tag_environment, "fast"), table
+    )
+    return first, second

@@ -1,0 +1,11 @@
+"""PURE001 negative, workers: pure functions over their arguments."""
+
+_FACTORS = {"kwh": 1.0, "m2": 0.5}  # read-only: never mutated
+
+
+def normalize(item):
+    return item * _FACTORS["kwh"]
+
+
+def scale(factor, row):
+    return [value * factor for value in row]

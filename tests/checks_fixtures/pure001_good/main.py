@@ -1,0 +1,11 @@
+"""PURE001 negative, call site: imported workers return values only."""
+
+import functools
+
+from helpers import normalize, scale
+
+
+def run(executor, items, table):
+    first = executor.map(normalize, items)
+    second = executor.map_table(functools.partial(scale, 2.0), table)
+    return first, second

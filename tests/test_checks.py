@@ -55,6 +55,10 @@ EXPECTED = {
     "sem001": ("SEM001", 2),
     "cfg001": ("CFG001", 3),
     "imp001": ("IMP001", 1),
+    "cache002": ("CACHE002", 2),
+    "det004": ("DET004", 2),
+    "fault002": ("FAULT002", 2),
+    "pure001": ("PURE001", 2),
 }
 
 
@@ -323,6 +327,67 @@ class TestExplain:
         assert repro_main(["check", "--explain", "LOCK004"]) == 0
         assert "LOCK004" in capsys.readouterr().out
 
+    def test_explain_is_case_insensitive(self):
+        out = io.StringIO()
+        assert checks_main(["--explain", "lock004"], out=out) == 0
+        assert out.getvalue().startswith("LOCK004")
+
+    def test_explain_unique_prefix_matches(self):
+        out = io.StringIO()
+        assert checks_main(["--explain", "pure"], out=out) == 0
+        assert out.getvalue().startswith("PURE001")
+
+    def test_explain_ambiguous_prefix_lists_candidates(self):
+        out = io.StringIO()
+        assert checks_main(["--explain", "lock"], out=out) == 2
+        text = out.getvalue()
+        assert "ambiguous" in text
+        for code in ("LOCK001", "LOCK002", "LOCK003", "LOCK004"):
+            assert code in text
+
+    def test_explain_typo_suggests_near_misses(self):
+        out = io.StringIO()
+        assert checks_main(["--explain", "LOKC001"], out=out) == 2
+        text = out.getvalue()
+        assert "did you mean" in text
+        assert "LOCK001" in text
+
+
+class TestSelectGlobs:
+    def test_glob_selects_a_rule_family(self):
+        out = io.StringIO()
+        code = checks_main(
+            [str(FIXTURES / "lock001_bad.py"), "--select", "LOCK*"], out=out
+        )
+        assert code == 1
+        assert "LOCK001" in out.getvalue()
+
+    def test_glob_is_case_insensitive(self):
+        out = io.StringIO()
+        code = checks_main(
+            [str(FIXTURES / "det001_bad.py"), "--select", "det*"], out=out
+        )
+        assert code == 1
+        assert "DET001" in out.getvalue()
+
+    def test_literal_and_glob_entries_mix(self):
+        out = io.StringIO()
+        code = checks_main(
+            [str(FIXTURES / "mut001_bad.py"), "--select", "MUT001,LOCK*"],
+            out=out,
+        )
+        assert code == 1
+        assert "MUT001" in out.getvalue()
+
+    def test_pattern_matching_nothing_is_usage_error(self):
+        out = io.StringIO()
+        code = checks_main([str(FIXTURES), "--select", "NOPE*"], out=out)
+        assert code == 2
+        text = out.getvalue()
+        assert "NOPE*" in text
+        for valid in rule_codes():
+            assert valid in text
+
 
 class TestConcurrencyModel:
     """Unit coverage of the cross-module lock-order/guard analysis."""
@@ -431,6 +496,60 @@ class TestConcurrencyModel:
         assert [f.rule for f in result.findings if f.rule == "SEM001"] == []
 
 
+class TestEffectModel:
+    """Golden interprocedural effect summaries over the real modules."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        from repro.checks.checker import Checker as _Checker
+        from repro.checks.effects import EffectModel
+        from repro.checks.project import ProjectIndex
+
+        files = [
+            SRC / "perf" / "cache.py",
+            SRC / "serving" / "store.py",
+            SRC / "checks" / "lockdep.py",
+            SRC / "checks" / "effectaudit.py",
+            SRC / "checks" / "__init__.py",
+            SRC / "serving" / "__init__.py",
+            SRC / "perf" / "__init__.py",
+            SRC / "__init__.py",
+        ]
+        checker = _Checker()
+        summaries = [checker._summarize(path)[0] for path in files]
+        return EffectModel.of(ProjectIndex(summaries))
+
+    def test_stage_cache_put_is_a_pure_writer(self, model):
+        assert sorted(model.effects("repro.perf.cache:StageCache.put")) == [
+            "fs_write"
+        ]
+
+    def test_stage_cache_get_only_reads(self, model):
+        assert sorted(model.effects("repro.perf.cache:StageCache.get")) == [
+            "fs_read"
+        ]
+
+    def test_stage_cache_key_is_pure(self, model):
+        assert not model.effects("repro.perf.cache:StageCache.key")
+
+    def test_build_store_env_reads_are_all_instrumentation_flags(self, model):
+        from repro.checks.effects import INSTRUMENTATION_ENV
+
+        effects = model.effects("repro.serving.store:build_store")
+        env_reads = {
+            token.partition(":")[2]
+            for token in effects
+            if token.startswith("env_read:")
+        }
+        assert env_reads  # the lockdep/effectaudit resolve chain is seen
+        assert env_reads <= INSTRUMENTATION_ENV
+
+    def test_cached_roots_are_detected(self, model):
+        kinds = {(gid, kind) for gid, kind, __, __ in model.roots()}
+        assert ("repro.perf.cache:StageCache.shard_key", "stage") in kinds
+        assert ("repro.serving.store:build_store", "store") in kinds
+
+
 class TestExitCodes:
     """0 clean / 1 findings / 2 usage or internal analyzer error."""
 
@@ -497,6 +616,28 @@ class TestSarifOutput:
         assert code == 1
         results = payload["runs"][0]["results"]
         assert [r["ruleId"] for r in results] == ["PARSE"]
+
+    def test_descriptors_carry_docs_severity_and_help_uri(self):
+        __, payload = self._sarif(FIXTURES / "mut001_good.py")
+        rules = {
+            r["id"]: r for r in payload["runs"][0]["tool"]["driver"]["rules"]
+        }
+        for code in rule_codes():
+            entry = rules[code]
+            assert entry["fullDescription"]["text"]
+            assert entry["helpUri"].endswith(code.lower())
+            assert entry["defaultConfiguration"]["level"] in (
+                "error", "warning", "note",
+            )
+        assert rules["COL002"]["defaultConfiguration"]["level"] == "warning"
+        assert rules["CACHE002"]["defaultConfiguration"]["level"] == "error"
+
+    def test_result_level_follows_rule_severity(self):
+        code, payload = self._sarif(FIXTURES / "col002_bad.py")
+        assert code == 1
+        results = payload["runs"][0]["results"]
+        assert results
+        assert all(r["level"] == "warning" for r in results)
 
 
 class TestIncrementalCache:

@@ -1,0 +1,255 @@
+"""Tests for the runtime effect auditor — the dynamic half of CACHE002.
+
+Three layers of coverage:
+
+* unit: region attribution, the deterministic raise on the first
+  un-fingerprinted ``os.environ`` read, the instrumentation allowlist,
+  and patch install/uninstall hygiene;
+* integration: a seeded un-fingerprinted read inside a real cached
+  region (an :class:`ArtifactStore` render) is flagged at the read site;
+* soundness: the real 8000-certificate pipeline runs audited end to
+  end, and every effect category *observed* at runtime appears in the
+  static :class:`~repro.checks.effects.EffectModel` summary of the
+  matching root (observed ⊆ static) — the cross-check that keeps the
+  static analyzer honest.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import Indice, IndiceConfig
+from repro.checks import effectaudit
+from repro.checks.checker import Checker, collect_python_files
+from repro.checks.effectaudit import (
+    EffectAudit,
+    EffectAuditError,
+    audited,
+    region,
+)
+from repro.checks.effects import EffectModel
+from repro.checks.project import ProjectIndex
+from repro.dataset import (
+    NoiseConfig,
+    SyntheticConfig,
+    apply_noise,
+    generate_epc_collection,
+)
+from repro.serving.store import ArtifactStore
+
+pytestmark = pytest.mark.checks
+
+SRC = collect_python_files([Path(repro.__file__).parent])
+
+
+@pytest.fixture(autouse=True)
+def _pristine_audit(monkeypatch):
+    """Each test starts un-armed, whatever the outer environment exports.
+
+    CI runs this suite under ``REPRO_AUDIT_EFFECTS=1``; the tests that
+    need the flag set it themselves, and the ones that prove the off
+    path must really be off.
+    """
+    monkeypatch.delenv(effectaudit.ENV_FLAG, raising=False)
+    effectaudit.DEFAULT.uninstall()
+    yield
+    effectaudit.DEFAULT.uninstall()
+
+
+@pytest.fixture
+def audit():
+    instance = EffectAudit("test")
+    yield instance
+    instance.uninstall()
+
+
+def _src_effect_model() -> EffectModel:
+    checker = Checker()
+    summaries = [checker._summarize(path)[0] for path in SRC]
+    return EffectModel.of(ProjectIndex(summaries))
+
+
+class TestRegions:
+    def test_reads_attribute_to_innermost_region(self, audit):
+        with region(audit, "outer"):
+            with region(audit, "inner"):
+                os.environ.get("REPRO_SANITIZE_LOCKS", "")
+            time.time()
+        assert audit.observed["inner"] == {"env_read:REPRO_SANITIZE_LOCKS"}
+        assert audit.observed["outer"] == {"clock:time.time"}
+
+    def test_reads_outside_any_region_are_free(self, audit):
+        with region(audit, "warmup"):
+            pass  # installs the proxies
+        os.environ.get("HOME", "")
+        time.time()
+        assert audit.observed == {"warmup": set()}
+
+    def test_audited_decorator_is_a_noop_when_disabled(self, audit):
+        @audited("stage")
+        def stage():
+            return os.environ.get("ANYTHING", "unseen")
+
+        # resolve(None) finds neither an explicit audit nor the env flag
+        assert stage() == "unseen"
+
+    def test_region_with_none_audit_is_free(self):
+        with region(None, "never"):
+            pass
+
+
+class TestViolations:
+    def test_unfingerprinted_env_read_raises_deterministically(self, audit):
+        with pytest.raises(EffectAuditError, match="EPC_SECRET_MODE"):
+            with region(audit, "cached"):
+                os.environ.get("EPC_SECRET_MODE", "off")
+        assert len(audit.violations) == 1
+        assert "cached" in audit.violations[0]
+        assert audit.observed["cached"] == {"env_read:EPC_SECRET_MODE"}
+
+    def test_instrumentation_flags_are_allowlisted(self, audit):
+        with region(audit, "cached"):
+            os.environ.get("REPRO_SANITIZE_LOCKS", "")
+            os.environ.get("REPRO_AUDIT_EFFECTS", "")
+        assert audit.violations == []
+
+    def test_os_getenv_is_routed_through_the_proxy(self, audit):
+        with pytest.raises(EffectAuditError, match="EPC_HIDDEN"):
+            with region(audit, "cached"):
+                os.getenv("EPC_HIDDEN")
+
+    def test_env_writes_record_but_never_raise(self, audit):
+        with region(audit, "stage"):
+            os.environ["EPC_AUDIT_TMP"] = "1"
+            del os.environ["EPC_AUDIT_TMP"]
+        assert audit.observed["stage"] == {"env_write:EPC_AUDIT_TMP"}
+        assert audit.violations == []
+
+
+class TestPatchHygiene:
+    def test_uninstall_restores_the_original_ambient_inputs(self):
+        original_environ = os.environ
+        original_time = time.time
+        audit = EffectAudit("t")
+        audit.install()
+        assert os.environ is not original_environ
+        audit.uninstall()
+        assert os.environ is original_environ
+        assert time.time is original_time
+
+    def test_second_audit_cannot_steal_the_patches(self):
+        first, second = EffectAudit("first"), EffectAudit("second")
+        first.install()
+        try:
+            with pytest.raises(EffectAuditError, match="already owns"):
+                second.install()
+        finally:
+            first.uninstall()
+
+    def test_resolve_prefers_explicit_then_env_flag(self, monkeypatch):
+        explicit = EffectAudit("explicit")
+        assert effectaudit.resolve(explicit) is explicit
+        monkeypatch.delenv(effectaudit.ENV_FLAG, raising=False)
+        assert effectaudit.resolve(None) is None
+        monkeypatch.setenv(effectaudit.ENV_FLAG, "1")
+        assert effectaudit.resolve(None) is effectaudit.DEFAULT
+
+
+class TestCrossCheck:
+    def test_observed_subset_passes(self, audit):
+        with region(audit, "stage"):
+            time.time()
+        audit.assert_subset_of("stage", {"clock:time.time", "fs_write:open"})
+
+    def test_observed_category_missing_from_static_raises(self, audit):
+        with region(audit, "stage"):
+            time.time()
+        with pytest.raises(EffectAuditError, match="clock"):
+            audit.assert_subset_of("stage", {"fs_write:open"})
+
+    def test_describe_lists_regions_stably(self, audit):
+        with region(audit, "b"):
+            pass
+        with region(audit, "a"):
+            time.time()
+        text = audit.describe()
+        assert text.index("a:") < text.index("b:")
+        assert "(pure)" in text
+
+
+class TestSeededCachedRegion:
+    """A render region with a hidden env read: the integration contract."""
+
+    def test_store_render_with_hidden_env_read_is_flagged(self, audit):
+        store = ArtifactStore(
+            "v1",
+            {"/report": ("text/plain", lambda: os.environ.get("EPC_MODE", ""))},
+            effectaudit=audit,
+        )
+        with pytest.raises(EffectAuditError, match="EPC_MODE"):
+            store.get("/report")
+        # the failed render cached nothing: the region really aborted
+        assert store.render_count("/report") == 0
+        assert audit.observed["render:/report"] == {"env_read:EPC_MODE"}
+
+    def test_clean_render_passes_audited(self, audit):
+        store = ArtifactStore(
+            "v1",
+            {"/ok": ("text/plain", lambda: "payload")},
+            effectaudit=audit,
+        )
+        assert store.get("/ok").body == b"payload"
+        assert audit.observed["render:/ok"] == set()
+
+
+class TestAuditedPipeline:
+    """The real pipeline, audited, cross-checked against the static model."""
+
+    def _run_audited(self, n=8000, seed=7):
+        collection = generate_epc_collection(
+            SyntheticConfig(n_certificates=n, seed=seed)
+        )
+        noisy = apply_noise(collection, NoiseConfig(seed=seed + 1))
+        collection.table = noisy.table
+        engine = Indice(
+            collection,
+            IndiceConfig(kmeans_n_init=2, k_range=(2, 4)),
+        )
+        engine.preprocess()
+        engine.analyze()
+        return engine
+
+    def test_pipeline_is_audit_clean_and_observed_subset_of_static(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(effectaudit.ENV_FLAG, "1")
+        effectaudit.DEFAULT.reset()
+        try:
+            self._run_audited()
+            observed = dict(effectaudit.DEFAULT.observed)
+        finally:
+            effectaudit.DEFAULT.uninstall()
+        assert set(observed) == {"preprocess", "analyze"}
+
+        model = _src_effect_model()
+        for stage, gid in (
+            ("preprocess", "repro.core.engine:Indice.preprocess"),
+            ("analyze", "repro.core.engine:Indice.analyze"),
+        ):
+            static = model.effects(gid)
+            extra = effectaudit.categories(observed[stage]) - (
+                effectaudit.categories(static) | {"env_read"}
+            )
+            assert extra == set(), (
+                f"{stage} observed categories {sorted(extra)} missing "
+                "from its static summary"
+            )
+            # and nothing un-fingerprinted was read: only allowlisted
+            # instrumentation flags may appear as env reads
+            for token in observed[stage]:
+                category, _, detail = token.partition(":")
+                if category == "env_read":
+                    assert detail in effectaudit.INSTRUMENTATION_ENV
